@@ -1,0 +1,94 @@
+//! Criterion wrappers around the paper's headline measurements: one bench
+//! per table/figure family, so a regression in the simulator that changes
+//! the *simulated* results also shows up as a host-time change here. The
+//! definitive regenerated numbers come from `repro all --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kernel_sim::{Kernel, KernelConfig, OsModel};
+use lmbench::compile::{kernel_compile, CompileConfig};
+use lmbench::{bw, lat};
+use ppc_machine::MachineConfig;
+
+fn bench_table1_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("pipe_bw_604_185", |b| {
+        b.iter(|| {
+            let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+            bw::pipe_bandwidth(&mut k)
+        });
+    });
+    g.bench_function("pstart_603_180_no_htab", |b| {
+        b.iter(|| {
+            let mut k = Kernel::boot(MachineConfig::ppc603_180(), KernelConfig::optimized());
+            lat::process_start(&mut k, 2)
+        });
+    });
+    g.finish();
+}
+
+fn bench_table2_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let eager = KernelConfig {
+        htab_on_603: true,
+        lazy_flush: false,
+        flush_cutoff_pages: None,
+        ..KernelConfig::optimized()
+    };
+    g.bench_function("mmap_lat_eager_603", |b| {
+        b.iter(|| {
+            let mut k = Kernel::boot(MachineConfig::ppc603_133(), eager);
+            lat::mmap_latency(&mut k, 1)
+        });
+    });
+    g.bench_function("mmap_lat_lazy_603", |b| {
+        b.iter(|| {
+            let mut k = Kernel::boot(
+                MachineConfig::ppc603_133(),
+                KernelConfig {
+                    htab_on_603: true,
+                    ..KernelConfig::optimized()
+                },
+            );
+            lat::mmap_latency(&mut k, 1)
+        });
+    });
+    g.finish();
+}
+
+fn bench_table3_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for model in OsModel::table3() {
+        g.bench_function(format!("null_syscall/{}", model.name), |b| {
+            b.iter(|| {
+                let mut k = model.boot(MachineConfig::ppc604_133());
+                lat::null_syscall(&mut k, 50)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    g.bench_function("small_optimized", |b| {
+        b.iter(|| {
+            let mut k = Kernel::boot(MachineConfig::ppc604_133(), KernelConfig::optimized());
+            kernel_compile(&mut k, CompileConfig::small())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_points,
+    bench_table2_points,
+    bench_table3_points,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `repro` — regenerate every table and figure of *Optimizing the Idle Task
+//! and Other MMU Tricks* (OSDI 1999).
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- <experiment|all> [--full] [--markdown|--csv]
+//! ```
+
+use bench::{depth_from_args, EXPERIMENTS};
+use mmu_tricks::experiments as ex;
+use mmu_tricks::tables::Table;
+use mmu_tricks::Depth;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let depth = depth_from_args(&args);
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let csv = args.iter().any(|a| a == "--csv");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() {
+        usage();
+        return;
+    }
+    let run_all = wanted.contains(&"all");
+    let mut ran = 0;
+    let style = if csv {
+        Style::Csv
+    } else if markdown {
+        Style::Markdown
+    } else {
+        Style::Plain
+    };
+    for (id, _) in EXPERIMENTS {
+        if run_all || wanted.contains(id) {
+            run(id, depth, style);
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment(s): {wanted:?}\n");
+        usage();
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    println!("repro — regenerate the paper's tables and figures\n");
+    println!("usage: repro <experiment...|all> [--full] [--markdown|--csv]\n");
+    println!("experiments:");
+    for (id, desc) in EXPERIMENTS {
+        println!("  {id:<16} {desc}");
+    }
+    println!("\n--full      paper-sized iteration counts (slower)");
+    println!("--markdown  render tables as markdown");
+    println!("--csv       render tables as CSV");
+}
+
+fn emit(t: &Table, style: Style) {
+    match style {
+        Style::Markdown => println!("{}", t.render_markdown()),
+        Style::Csv => println!("{}", t.render_csv()),
+        Style::Plain => println!("{}", t.render()),
+    }
+}
+
+/// Output rendering selected on the command line.
+#[derive(Clone, Copy)]
+enum Style {
+    Plain,
+    Markdown,
+    Csv,
+}
+
+fn run(id: &str, depth: Depth, markdown: Style) {
+    match id {
+        "fig1" => {
+            println!(
+                "{}",
+                ex::translation_walkthrough(0x3012_3abc, 0x123456, 0x54321)
+            );
+        }
+        "bat" => emit(&ex::exp_bat(depth).1, markdown),
+        "hash-util" => emit(&ex::exp_hash_util(depth).1, markdown),
+        "fast-reload" => emit(&ex::exp_fast_reload(depth).1, markdown),
+        "table1" => emit(&ex::table1(depth).1, markdown),
+        "lazy" => emit(&ex::exp_lazy(depth).1, markdown),
+        "idle-reclaim" => emit(&ex::exp_idle_reclaim(depth).1, markdown),
+        "mmap-cutoff" => emit(&ex::exp_mmap_cutoff(depth).1, markdown),
+        "table2" => emit(&ex::table2(depth).1, markdown),
+        "cache-pollution" => emit(&ex::exp_cache_pollution(depth).1, markdown),
+        "page-clear" => emit(&ex::exp_page_clear(depth).1, markdown),
+        "table3" => emit(&ex::table3(depth).1, markdown),
+        "extensions" => emit(&ex::exp_extensions(depth).1, markdown),
+        "trace" => {
+            emit(
+                &ex::trace_compile(depth, mmu_tricks::KernelConfig::unoptimized()).1,
+                markdown,
+            );
+            emit(
+                &ex::trace_compile(depth, mmu_tricks::KernelConfig::optimized()).1,
+                markdown,
+            );
+        }
+        "memhier" => emit(&ex::memory_hierarchy(depth).1, markdown),
+        "ablate-htab-size" => emit(&ex::ablate_htab_size(depth).1, markdown),
+        "ablate-scatter" => emit(&ex::ablate_scatter(depth).1, markdown),
+        "ablate-reclaim" => emit(&ex::ablate_reclaim_policy(depth).1, markdown),
+        "ablate-tlb" => emit(&ex::ablate_tlb_reach(depth).1, markdown),
+        "io-bat" => emit(&ex::exp_io_bat(depth).1, markdown),
+        "ablate-replacement" => emit(&ex::ablate_replacement(depth).1, markdown),
+        "lmbench-extended" => emit(&ex::extended_suite(depth).1, markdown),
+        "multiuser" => emit(&ex::exp_multiuser(depth).1, markdown),
+        other => unreachable!("unknown experiment {other}"),
+    }
+}

@@ -1,0 +1,112 @@
+//! Benchmark harness for the MMU Tricks (OSDI 1999) reproduction.
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary — regenerates every table and figure of the paper
+//!   (`cargo run -p bench --release --bin repro -- all`);
+//! * Criterion micro-benchmarks under `benches/` — per-mechanism
+//!   regressions (translation, hash table, reload paths, flushes, pipes,
+//!   context switches).
+
+use mmu_tricks::Depth;
+
+/// Parses the common `--full` flag into a depth.
+pub fn depth_from_args(args: &[String]) -> Depth {
+    if args.iter().any(|a| a == "--full") {
+        Depth::Full
+    } else {
+        Depth::Quick
+    }
+}
+
+/// All experiment ids the `repro` binary accepts, with one-line summaries.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "Figure 1: hash-table translation walkthrough"),
+    ("bat", "E-BAT (5.1): BAT-mapping the kernel on the compile"),
+    (
+        "hash-util",
+        "E-HASH (5.2): hash-table utilization vs VSID scatter",
+    ),
+    (
+        "fast-reload",
+        "E-FAST (6.1): C vs hand-tuned reload handlers",
+    ),
+    (
+        "table1",
+        "Table 1: direct TLB reloads (603 htab/no-htab vs 604s)",
+    ),
+    ("lazy", "E-LAZY (7): lazy VSID flushes"),
+    ("idle-reclaim", "E-IDLE (7): idle-task zombie reclamation"),
+    ("mmap-cutoff", "E-MMAP (7): range-flush cutoff sweep"),
+    ("table2", "Table 2: tunable TLB range flushing"),
+    ("cache-pollution", "E-CACHE (8): page-table cache pollution"),
+    ("page-clear", "E-CLEAR (9): idle-task page clearing"),
+    ("table3", "Table 3: Linux/PPC vs other operating systems"),
+    (
+        "extensions",
+        "Extensions (10): idle cache lock + cache preloads",
+    ),
+    (
+        "trace",
+        "Counter trace: per-unit hardware-monitor samples (4)",
+    ),
+    (
+        "memhier",
+        "lat_mem_rd staircase: L1/L2/DRAM plateaus per machine",
+    ),
+    (
+        "ablate-htab-size",
+        "Ablation: hash-table size vs RAM tradeoff (7)",
+    ),
+    (
+        "ablate-scatter",
+        "Ablation: VSID scatter-constant sweep (5.2)",
+    ),
+    (
+        "ablate-reclaim",
+        "Ablation: idle-scan vs rejected on-scarcity reclaim (7)",
+    ),
+    (
+        "ablate-tlb",
+        "Ablation: TLB reach vs compile performance (2)",
+    ),
+    (
+        "io-bat",
+        "Frame-buffer BAT: X-like blitter vs compute TLB (5.1)",
+    ),
+    (
+        "ablate-replacement",
+        "Ablation: full-PTEG replacement policy (7)",
+    ),
+    (
+        "lmbench-extended",
+        "Extended LmBench rows (sig, fork, exec, mem) per machine",
+    ),
+    (
+        "multiuser",
+        "Multiuser mix (compile+edit+mail): the cumulative build-up",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_parsing() {
+        assert_eq!(depth_from_args(&[]), Depth::Quick);
+        assert_eq!(depth_from_args(&["--full".into()]), Depth::Full);
+        assert_eq!(
+            depth_from_args(&["all".into(), "--full".into()]),
+            Depth::Full
+        );
+    }
+
+    #[test]
+    fn experiment_ids_unique() {
+        let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPERIMENTS.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Extended LmBench rows beyond the paper's tables: signal catch, fork,
+//! fork+exec, and streaming memory bandwidth, per machine — the rest of the
+//! toolchain the authors ran.
+
+use kernel_sim::{Kernel, KernelConfig};
+use lmbench::lat;
+use lmbench::mem::{bandwidth_mbs, MemOp};
+use ppc_machine::MachineConfig;
+
+use crate::tables::Table;
+use crate::Depth;
+
+/// One machine's extended-suite row.
+#[derive(Debug, Clone)]
+pub struct ExtendedRow {
+    /// Machine name.
+    pub machine: String,
+    /// `lat_sig catch` (µs).
+    pub sig_catch_us: f64,
+    /// `lat_proc fork` (µs).
+    pub fork_us: f64,
+    /// `lat_proc exec` (µs).
+    pub exec_us: f64,
+    /// `bw_mem rd` over 1 MiB (MB/s).
+    pub mem_rd_mbs: f64,
+    /// `bw_mem cp` over 1 MiB (MB/s).
+    pub mem_cp_mbs: f64,
+}
+
+/// Runs the extended rows on the optimized kernel across the paper's
+/// machines.
+pub fn extended_suite(depth: Depth) -> (Vec<ExtendedRow>, Table) {
+    let iters = match depth {
+        Depth::Quick => 5,
+        Depth::Full => 15,
+    };
+    let machines = [
+        MachineConfig::ppc603_133(),
+        MachineConfig::ppc603_180(),
+        MachineConfig::ppc604_133(),
+        MachineConfig::ppc604_185(),
+        MachineConfig::ppc604_200(),
+    ];
+    let rows: Vec<ExtendedRow> = machines
+        .into_iter()
+        .map(|mcfg| {
+            let boot = || Kernel::boot(mcfg, KernelConfig::optimized());
+            ExtendedRow {
+                machine: mcfg.name.to_string(),
+                sig_catch_us: lat::sig_catch(&mut boot(), iters * 4),
+                fork_us: lat::fork_latency(&mut boot(), iters),
+                exec_us: lat::exec_latency(&mut boot(), iters),
+                mem_rd_mbs: bandwidth_mbs(&mut boot(), MemOp::Read, 1024),
+                mem_cp_mbs: bandwidth_mbs(&mut boot(), MemOp::Copy, 1024),
+            }
+        })
+        .collect();
+    let mut t = Table::new(
+        "Extended LmBench rows (optimized kernel)",
+        vec![
+            "machine".into(),
+            "lat_sig".into(),
+            "fork".into(),
+            "fork+exec".into(),
+            "bw_mem rd".into(),
+            "bw_mem cp".into(),
+        ],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            r.machine.clone(),
+            format!("{:.1}us", r.sig_catch_us),
+            format!("{:.0}us", r.fork_us),
+            format!("{:.0}us", r.exec_us),
+            format!("{:.0} MB/s", r.mem_rd_mbs),
+            format!("{:.0} MB/s", r.mem_cp_mbs),
+        ]);
+    }
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_rows_are_ordered_sensibly() {
+        let (rows, _) = extended_suite(Depth::Quick);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.fork_us < r.exec_us, "{}: fork < fork+exec", r.machine);
+            assert!(r.mem_rd_mbs > r.mem_cp_mbs, "{}: rd bw > cp bw", r.machine);
+            assert!(r.sig_catch_us > 0.5);
+        }
+        // The 200 MHz 604 with the fast board leads on raw-hardware rows.
+        // (fork+exec is *not* asserted: the 604's forced hash-table flushes
+        // make its exec path slower than the no-htab 603's — the paper's
+        // §6.2 point about software-controlled reloads.)
+        let first = &rows[0];
+        let last = &rows[4];
+        assert!(last.mem_rd_mbs > first.mem_rd_mbs);
+        assert!(last.fork_us < first.fork_us);
+    }
+}

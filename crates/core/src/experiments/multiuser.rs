@@ -1,0 +1,101 @@
+//! The multiuser capstone: the §9 closing workload ("users compiling,
+//! editing, reading mail") on the four kernel generations, showing where
+//! each optimization family earns its share.
+
+use kernel_sim::{Kernel, KernelConfig};
+use lmbench::multiuser::{classic_mix, run_multiuser, MultiuserResult};
+use ppc_machine::MachineConfig;
+
+use crate::tables::Table;
+use crate::Depth;
+
+/// One kernel's multiuser numbers.
+#[derive(Debug, Clone)]
+pub struct MultiuserRow {
+    /// Kernel label.
+    pub label: String,
+    /// The run's results.
+    pub result: MultiuserResult,
+}
+
+/// Runs the classic mix on the unoptimized kernel, the optimized kernel,
+/// and two intermediate steps (BATs only; BATs + fast handlers), exposing
+/// the cumulative build-up the paper performed change by change (§4: "this
+/// lets us look more closely at how each change affects the kernel by
+/// itself").
+pub fn exp_multiuser(depth: Depth) -> (Vec<MultiuserRow>, Table) {
+    let rounds = match depth {
+        Depth::Quick => 6,
+        Depth::Full => 20,
+    };
+    let configs: Vec<(&str, KernelConfig)> = vec![
+        ("unoptimized", KernelConfig::unoptimized()),
+        (
+            "+ BATs (5.1)",
+            KernelConfig {
+                use_bats: true,
+                ..KernelConfig::unoptimized()
+            },
+        ),
+        (
+            "+ fast handlers (6.1)",
+            KernelConfig {
+                use_bats: true,
+                handler: kernel_sim::HandlerStyle::FastAsm,
+                ..KernelConfig::unoptimized()
+            },
+        ),
+        ("fully optimized (5-9)", KernelConfig::optimized()),
+    ];
+    let rows: Vec<MultiuserRow> = configs
+        .into_iter()
+        .map(|(label, kcfg)| {
+            let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
+            let result = run_multiuser(&mut k, &classic_mix(), rounds);
+            MultiuserRow {
+                label: label.into(),
+                result,
+            }
+        })
+        .collect();
+    let mut t = Table::new(
+        "Multiuser mix (compile + edit + mail, 604 133MHz): the cumulative build-up",
+        vec![
+            "kernel".into(),
+            "wall".into(),
+            "idle share".into(),
+            "TLB misses".into(),
+            "dcache misses".into(),
+        ],
+    );
+    for r in &rows {
+        t.push_row(vec![
+            r.label.clone(),
+            format!("{:.1}ms", r.result.wall_ms),
+            format!("{:.0}%", r.result.idle_frac * 100.0),
+            format!("{}", r.result.monitor.tlb_misses()),
+            format!("{}", r.result.monitor.dcache.misses),
+        ]);
+    }
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_generation_improves_the_mix() {
+        let (rows, _) = exp_multiuser(Depth::Quick);
+        assert_eq!(rows.len(), 4);
+        let walls: Vec<f64> = rows.iter().map(|r| r.result.wall_ms).collect();
+        assert!(
+            walls[3] < walls[0],
+            "fully optimized ({:.1}) must beat unoptimized ({:.1})",
+            walls[3],
+            walls[0]
+        );
+        // Fast handlers are the big single win on a software-reload-heavy mix.
+        assert!(walls[2] <= walls[1]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tables 1, 2 and 3 of the paper.
+
+use kernel_sim::{Kernel, KernelConfig, OsModel};
+use lmbench::report::{run_suite_with, LmbenchResults};
+use ppc_machine::MachineConfig;
+
+use crate::tables::{mbs, us, Table};
+use crate::Depth;
+
+/// One measured column of a paper table.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column header (machine or OS name).
+    pub name: String,
+    /// The measured suite.
+    pub results: LmbenchResults,
+}
+
+/// Runs the suite for a machine/kernel pair under `depth`.
+fn suite(machine: MachineConfig, kcfg: KernelConfig, depth: Depth) -> LmbenchResults {
+    run_suite_with(|| Kernel::boot(machine, kcfg), depth.suite())
+}
+
+/// The kernel with every optimization *except* hash-table elimination on
+/// the 603 (Table 1's "603 (htab)" column).
+fn optimized_with_htab() -> KernelConfig {
+    KernelConfig {
+        htab_on_603: true,
+        ..KernelConfig::optimized()
+    }
+}
+
+/// The kernel with every optimization *except* lazy flushing (Table 2's
+/// untuned columns).
+fn optimized_eager_flush() -> KernelConfig {
+    KernelConfig {
+        lazy_flush: false,
+        flush_cutoff_pages: None,
+        ..KernelConfig::optimized()
+    }
+}
+
+/// Table 2's 603 ran software hash-table searches ("the 603 hash table
+/// search is using software TLB miss handlers that emulate the 604").
+fn with_htab(cfg: KernelConfig) -> KernelConfig {
+    KernelConfig {
+        htab_on_603: true,
+        ..cfg
+    }
+}
+
+/// **Table 1** — "LmBench summary for direct (bypassing hash table) TLB
+/// reloads": 603/180 with and without the hash table, against hardware-
+/// reloading 604s.
+pub fn table1(depth: Depth) -> (Vec<Column>, Table) {
+    let columns = vec![
+        Column {
+            name: "603 180MHz (htab)".into(),
+            results: suite(MachineConfig::ppc603_180(), optimized_with_htab(), depth),
+        },
+        Column {
+            name: "603 180MHz (no htab)".into(),
+            results: suite(
+                MachineConfig::ppc603_180(),
+                KernelConfig::optimized(),
+                depth,
+            ),
+        },
+        Column {
+            name: "604 185MHz".into(),
+            results: suite(
+                MachineConfig::ppc604_185(),
+                KernelConfig::optimized(),
+                depth,
+            ),
+        },
+        Column {
+            name: "604 200MHz".into(),
+            results: suite(
+                MachineConfig::ppc604_200(),
+                KernelConfig::optimized(),
+                depth,
+            ),
+        },
+    ];
+    let mut t = table_shell(
+        "Table 1: LmBench summary for direct (bypassing hash table) TLB reloads",
+        &columns,
+    );
+    push_metric(&mut t, "pstart", &columns, |r| {
+        format!("{:.1}ms", r.pstart_ms)
+    });
+    push_metric(&mut t, "ctxsw", &columns, |r| us(r.ctxsw2_us));
+    push_metric(&mut t, "pipe lat.", &columns, |r| us(r.pipe_lat_us));
+    push_metric(&mut t, "pipe bw", &columns, |r| mbs(r.pipe_bw_mbs));
+    push_metric(&mut t, "file reread", &columns, |r| mbs(r.file_reread_mbs));
+    (columns, t)
+}
+
+/// **Table 2** — "LmBench summary for tunable TLB range flushing": eager
+/// per-page flushing vs lazy VSID flushes (603/133) and the tuned cutoff
+/// (604/185).
+pub fn table2(depth: Depth) -> (Vec<Column>, Table) {
+    let columns = vec![
+        Column {
+            name: "603 133MHz".into(),
+            results: suite(
+                MachineConfig::ppc603_133(),
+                with_htab(optimized_eager_flush()),
+                depth,
+            ),
+        },
+        Column {
+            name: "603 133MHz (lazy)".into(),
+            results: suite(
+                MachineConfig::ppc603_133(),
+                with_htab(KernelConfig::optimized()),
+                depth,
+            ),
+        },
+        Column {
+            name: "604 185MHz".into(),
+            results: suite(MachineConfig::ppc604_185(), optimized_eager_flush(), depth),
+        },
+        Column {
+            name: "604 185MHz (tune)".into(),
+            results: suite(
+                MachineConfig::ppc604_185(),
+                KernelConfig::optimized(),
+                depth,
+            ),
+        },
+    ];
+    let mut t = table_shell(
+        "Table 2: LmBench summary for tunable TLB range flushing",
+        &columns,
+    );
+    push_metric(&mut t, "mmap lat.", &columns, |r| us(r.mmap_lat_us));
+    push_metric(&mut t, "ctxsw", &columns, |r| us(r.ctxsw2_us));
+    push_metric(&mut t, "pipe lat.", &columns, |r| us(r.pipe_lat_us));
+    push_metric(&mut t, "pipe bw", &columns, |r| mbs(r.pipe_bw_mbs));
+    push_metric(&mut t, "file reread", &columns, |r| mbs(r.file_reread_mbs));
+    (columns, t)
+}
+
+/// **Table 3** — "LmBench summary for Linux/PPC and other Operating
+/// Systems", all on the 133 MHz 604.
+pub fn table3(depth: Depth) -> (Vec<Column>, Table) {
+    let machine = MachineConfig::ppc604_133();
+    let columns: Vec<Column> = OsModel::table3()
+        .into_iter()
+        .map(|m| Column {
+            name: m.name.to_string(),
+            results: run_suite_with(|| m.boot(machine), depth.suite()),
+        })
+        .collect();
+    let mut t = table_shell(
+        "Table 3: LmBench summary for Linux/PPC and other Operating Systems (133MHz 604)",
+        &columns,
+    );
+    push_metric(&mut t, "Null syscall", &columns, |r| us(r.null_syscall_us));
+    push_metric(&mut t, "ctx switch", &columns, |r| us(r.ctxsw2_us));
+    push_metric(&mut t, "pipe lat.", &columns, |r| us(r.pipe_lat_us));
+    push_metric(&mut t, "pipe bw", &columns, |r| mbs(r.pipe_bw_mbs));
+    (columns, t)
+}
+
+fn table_shell(title: &str, columns: &[Column]) -> Table {
+    let mut headers = vec!["metric".to_string()];
+    headers.extend(columns.iter().map(|c| c.name.clone()));
+    Table::new(title, headers)
+}
+
+fn push_metric(
+    t: &mut Table,
+    name: &str,
+    columns: &[Column],
+    f: impl Fn(&LmbenchResults) -> String,
+) {
+    let mut row = vec![name.to_string()];
+    row.extend(columns.iter().map(|c| f(&c.results)));
+    t.push_row(row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_ordering_matches_paper() {
+        // The paper's headline: optimized Linux/PPC beats everything; the
+        // Mach systems are the slowest.
+        let (cols, t) = table3(Depth::Quick);
+        let null: Vec<f64> = cols.iter().map(|c| c.results.null_syscall_us).collect();
+        assert!(
+            null[0] < null[1],
+            "optimized beats unoptimized (null syscall)"
+        );
+        assert!(null[0] < null[2] && null[0] < null[3] && null[0] < null[4]);
+        let bw: Vec<f64> = cols.iter().map(|c| c.results.pipe_bw_mbs).collect();
+        assert!(
+            bw[0] > bw[2] && bw[0] > bw[3],
+            "Linux/PPC pipe bw beats Mach systems"
+        );
+        assert!(t.render().contains("Null syscall"));
+    }
+
+    #[test]
+    fn table2_lazy_slashes_mmap_latency() {
+        let (cols, _) = table2(Depth::Quick);
+        let eager = cols[0].results.mmap_lat_us;
+        let lazy = cols[1].results.mmap_lat_us;
+        assert!(
+            eager > 10.0 * lazy,
+            "603: lazy flushing must slash mmap latency ({eager:.0} vs {lazy:.0} µs)"
+        );
+        let eager4 = cols[2].results.mmap_lat_us;
+        let tuned4 = cols[3].results.mmap_lat_us;
+        assert!(
+            eager4 > 10.0 * tuned4,
+            "604: same direction ({eager4:.0} vs {tuned4:.0})"
+        );
+    }
+}

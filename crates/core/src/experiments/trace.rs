@@ -1,0 +1,154 @@
+//! Counter traces — the §4 measurement methodology as a harness.
+//!
+//! The paper's workflow was: run the workload, watch the 604 hardware
+//! monitor (or the 603 software counters), and let the counters drive the
+//! next optimization. [`trace_compile`] reproduces that loop: it samples
+//! every hardware counter once per compilation unit and renders the series,
+//! and [`memory_hierarchy`] sweeps `lat_mem_rd` to chart the cache
+//! staircase the cost model rests on.
+
+use kernel_sim::{Kernel, KernelConfig};
+use lmbench::compile::CompileConfig;
+use lmbench::mem;
+use ppc_machine::MachineConfig;
+
+use crate::tables::{sparkline, Table};
+use crate::Depth;
+
+/// One per-unit sample of the compile trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSample {
+    /// Cycles spent in this unit.
+    pub cycles: u64,
+    /// TLB misses (I + D).
+    pub tlb_misses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// Hash-table hit rate on TLB misses in this window.
+    pub htab_hit_rate: f64,
+}
+
+/// Runs the compile one unit at a time on `kcfg`, sampling the monitor
+/// between units (the paper's counter-watching loop).
+pub fn trace_compile(depth: Depth, kcfg: KernelConfig) -> (Vec<TraceSample>, Table) {
+    let cfg = depth.compile();
+    let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
+    let mut samples = Vec::new();
+    let unit_cfg = CompileConfig { units: 1, ..cfg };
+    for _ in 0..cfg.units {
+        let m0 = k.machine.snapshot();
+        let k0 = k.stats;
+        lmbench::compile::kernel_compile(&mut k, unit_cfg);
+        let dm = k.machine.snapshot().delta(&m0);
+        let dk = k.stats.delta(&k0);
+        samples.push(TraceSample {
+            cycles: dm.cycles,
+            tlb_misses: dm.tlb_misses(),
+            dcache_misses: dm.dcache.misses,
+            htab_hit_rate: dk.htab_hit_rate(),
+        });
+    }
+    let series = |f: fn(&TraceSample) -> f64| -> Vec<f64> { samples.iter().map(f).collect() };
+    let mut t = Table::new(
+        "Counter trace: one sample per compile unit (604 hardware monitor, 4)",
+        vec!["counter".into(), "min".into(), "max".into(), "trend".into()],
+    );
+    for (name, vals) in [
+        ("cycles/unit", series(|s| s.cycles as f64)),
+        ("TLB misses/unit", series(|s| s.tlb_misses as f64)),
+        ("dcache misses/unit", series(|s| s.dcache_misses as f64)),
+        ("htab hit rate", series(|s| s.htab_hit_rate * 100.0)),
+    ] {
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        t.push_row(vec![
+            name.into(),
+            format!("{min:.0}"),
+            format!("{max:.0}"),
+            sparkline(&vals),
+        ]);
+    }
+    (samples, t)
+}
+
+/// One machine's latency staircase.
+#[derive(Debug, Clone)]
+pub struct MemHierRow {
+    /// Machine name.
+    pub machine: String,
+    /// `(size KiB, ns/access)` points.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// `lat_mem_rd` sweeps per machine: the L1 → L2 → DRAM staircase that
+/// validates the memory-hierarchy model underneath every experiment.
+pub fn memory_hierarchy(_depth: Depth) -> (Vec<MemHierRow>, Table) {
+    let sizes = [4u32, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let machines = [
+        MachineConfig::ppc603_133(),
+        MachineConfig::ppc603_133_no_l2(),
+        MachineConfig::ppc604_133(),
+        MachineConfig::ppc604_200(),
+    ];
+    let rows: Vec<MemHierRow> = machines
+        .into_iter()
+        .map(|mcfg| {
+            let points: Vec<(u32, f64)> = sizes
+                .iter()
+                .map(|&kb| {
+                    let mut k = Kernel::boot(mcfg, KernelConfig::optimized());
+                    (kb, mem::read_latency_ns(&mut k, kb))
+                })
+                .collect();
+            MemHierRow {
+                machine: mcfg.name.to_string(),
+                points,
+            }
+        })
+        .collect();
+    let mut t = Table::new(
+        "lat_mem_rd: load latency (ns) vs working-set size — the cache staircase",
+        {
+            let mut cols = vec!["machine".into()];
+            cols.extend(sizes.iter().map(|s| format!("{s}K")));
+            cols.push("shape".into());
+            cols
+        },
+    );
+    for r in &rows {
+        let mut row = vec![r.machine.clone()];
+        row.extend(r.points.iter().map(|(_, ns)| format!("{ns:.0}")));
+        row.push(sparkline(
+            &r.points.iter().map(|(_, ns)| *ns).collect::<Vec<_>>(),
+        ));
+        t.push_row(row);
+    }
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_reflects_cache_sizes() {
+        let (rows, _) = memory_hierarchy(Depth::Quick);
+        // 604/133: 16 KiB L1, 512 KiB L2.
+        let m604 = rows.iter().find(|r| r.machine == "604 133MHz").unwrap();
+        let at = |kb: u32| m604.points.iter().find(|(s, _)| *s == kb).unwrap().1;
+        assert!(at(8) < at(64), "L1 plateau below L2 plateau");
+        assert!(at(64) < at(4096), "L2 plateau below DRAM plateau");
+        // The no-L2 603 jumps straight from L1 to DRAM.
+        let no_l2 = rows.iter().find(|r| r.machine.contains("no L2")).unwrap();
+        let at = |kb: u32| no_l2.points.iter().find(|(s, _)| *s == kb).unwrap().1;
+        assert!((at(64) - at(2048)).abs() / at(2048) < 0.2);
+    }
+
+    #[test]
+    fn trace_produces_one_sample_per_unit() {
+        let (samples, t) = trace_compile(Depth::Quick, KernelConfig::optimized());
+        assert_eq!(samples.len() as u32, Depth::Quick.compile().units);
+        assert!(samples.iter().all(|s| s.cycles > 0));
+        assert!(t.render().contains("TLB misses/unit"));
+    }
+}

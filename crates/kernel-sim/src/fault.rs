@@ -1,0 +1,134 @@
+//! The page-fault path: demand-zero and file-backed population.
+
+use ppc_machine::Cycles;
+use ppc_mmu::addr::{EffectiveAddress, PhysAddr, PAGE_SIZE};
+use ppc_mmu::translate::AccessType;
+
+use crate::kernel::Kernel;
+use crate::layout::KernelPath;
+use crate::linuxpt::{LinuxPte, PTE_RW};
+use crate::task::VmaKind;
+
+impl Kernel {
+    /// Services a real page fault at `ea` (no translation anywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an access outside every VMA (a simulated segfault — the
+    /// workloads in this repository are well-formed, so this is a bug trap)
+    /// or on out-of-memory.
+    pub(crate) fn page_fault(&mut self, ea: EffectiveAddress, _at: AccessType) {
+        self.stats.page_faults += 1;
+        let costs = self.machine.cfg.costs;
+        self.machine.charge(costs.exception_entry);
+        // Page faults always run the C handler.
+        let insns = self.paths.fault_c;
+        self.run_kernel_path(KernelPath::FaultHandler, insns);
+        // VMA lookup in the task struct.
+        let cur = self.current.expect("page fault with no current task");
+        let ts = self.tasks[cur].task_struct_pa();
+        for i in 0..4 {
+            self.kdata_ref(ts + 0x80 + i * 4, false);
+        }
+        // The VMA structure itself is slab-resident.
+        let pid = self.tasks[cur].pid;
+        self.kmeta_ref(0x4000 + pid * 17 + (ea.0 >> 24), false);
+        let vma = match self.tasks[cur].find_vma(ea) {
+            Some(v) => *v,
+            None => {
+                self.stats.segfaults += 1;
+                panic!("segfault at {:#x} (pid {})", ea.0, self.tasks[cur].pid);
+            }
+        };
+        let page_ea = ea.page_base();
+        let (pa, writable) = match vma.kind {
+            VmaKind::Anon => {
+                let pa = self.get_free_page_charged(true);
+                self.tasks[cur].frames.push((page_ea.0, pa));
+                (pa, true)
+            }
+            VmaKind::File { file, offset } => {
+                // Page-cache pages are mapped read-only (text and shared
+                // mappings); a store through one is a protection violation.
+                let file_off = offset + (page_ea.0 - vma.start);
+                let pa = self.files[file]
+                    .page_at(file_off)
+                    .expect("file mapping past EOF");
+                self.mem_map_ref(pa, false);
+                (pa, false)
+            }
+        };
+        self.map_user_page_prot(cur, page_ea, pa, writable);
+        self.machine.charge(costs.exception_exit);
+    }
+
+    /// Installs `pa` writable at `page_ea` in task `idx`'s page tables.
+    pub(crate) fn map_user_page(&mut self, idx: usize, page_ea: EffectiveAddress, pa: PhysAddr) {
+        self.map_user_page_prot(idx, page_ea, pa, true);
+    }
+
+    /// Installs `pa` at `page_ea` in task `idx`'s page tables, charging the
+    /// page-table writes.
+    pub(crate) fn map_user_page_prot(
+        &mut self,
+        idx: usize,
+        page_ea: EffectiveAddress,
+        pa: PhysAddr,
+        writable: bool,
+    ) {
+        let pte = LinuxPte::present(pa >> 12, if writable { PTE_RW } else { 0 });
+        let pt = self.tasks[idx].pt;
+        let frames = &mut self.frames;
+        let walk = pt
+            .map(&mut self.phys, page_ea, pte, || frames.get_pt_page())
+            .expect("page-table pool exhausted");
+        let cached = self.cfg.linux_pt_cached;
+        let c1 = self.machine.mem.data_write(walk.pgd_entry_pa, cached);
+        let c2 = self.machine.mem.data_write(
+            walk.pte_entry_pa.expect("map always has a PTE slot"),
+            cached,
+        );
+        self.machine.charge(c1 + c2);
+    }
+
+    /// `get_free_page()`: takes a frame, consulting the pre-cleared list
+    /// first (paper §9); clears on demand when needed. Charges all costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory is exhausted.
+    pub fn get_free_page_charged(&mut self, need_zero: bool) -> PhysAddr {
+        // "the only overhead is a check to see if there are any pre-cleared
+        // pages available" (§9).
+        self.machine.charge(4);
+        let (pa, precleared) = self.frames.get_free_page().expect("out of physical memory");
+        self.mem_map_ref(pa, true);
+        if need_zero && !precleared {
+            // Demand clear with ordinary cached stores — the paper's kernel
+            // avoided `dcbz` (§9), so every line pays a write-allocate fill
+            // on the demand path. This is exactly the time the pre-cleared
+            // list saves.
+            self.machine.zero_page_stores_pa(pa);
+            self.phys.zero_page(pa);
+        }
+        pa
+    }
+
+    /// Frees one page frame back to the allocator (a few cycles of list
+    /// manipulation).
+    pub fn free_page_charged(&mut self, pa: PhysAddr) -> Cycles {
+        self.machine.charge(6);
+        self.mem_map_ref(pa, true);
+        self.frames.free_page(pa);
+        6
+    }
+
+    /// Pre-faults every page of `[start, start + pages*4K)` in the current
+    /// task by reading one word per page (workload setup helper; reads so
+    /// that read-only file mappings can be pre-faulted too).
+    pub fn prefault(&mut self, start: u32, pages: u32) {
+        for i in 0..pages {
+            self.data_ref(EffectiveAddress(start + i * PAGE_SIZE), false);
+        }
+    }
+}

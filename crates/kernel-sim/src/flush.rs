@@ -1,0 +1,127 @@
+//! TLB and hash-table flush strategies (paper §7).
+
+use ppc_machine::Cycles;
+use ppc_mmu::addr::{EffectiveAddress, Vsid, PAGE_SIZE};
+
+use crate::kernel::Kernel;
+use crate::layout::is_user;
+
+impl Kernel {
+    /// The VSID a user effective address translates under for task `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ea` is not a user address.
+    pub fn user_vsid(&self, idx: usize, ea: EffectiveAddress) -> Vsid {
+        assert!(is_user(ea), "user_vsid on kernel address {:#x}", ea.0);
+        self.tasks[idx].vsids[ea.sr_index()]
+    }
+
+    /// Flushes the translations for `[start, end)` of task `idx`.
+    ///
+    /// Policy (paper §7):
+    /// * lazy flushing on and the range exceeds the cutoff → retire the
+    ///   whole context ("a simple resetting of the VSIDs will do");
+    /// * otherwise → per-page hash-table search-and-invalidate (up to 16
+    ///   memory references each) plus a `tlbie`.
+    pub fn flush_range(&mut self, idx: usize, start: u32, end: u32) {
+        let pages = (end - start) / PAGE_SIZE;
+        let over_cutoff = match self.cfg.flush_cutoff_pages {
+            Some(c) => pages > c,
+            None => false,
+        };
+        if self.cfg.lazy_flush && over_cutoff {
+            self.flush_context(idx);
+            return;
+        }
+        let mut ea = start;
+        while ea < end {
+            self.flush_one_page(idx, EffectiveAddress(ea));
+            ea += PAGE_SIZE;
+        }
+    }
+
+    /// Flushes a single page's translation: hash-table search-and-invalidate
+    /// plus `tlbie`. This is the expensive primitive the lazy scheme avoids.
+    pub fn flush_one_page(&mut self, idx: usize, ea: EffectiveAddress) {
+        self.stats.flushed_pages += 1;
+        // The per-page flush C path (`flush_hash_page` and friends).
+        let insns = self.paths.flush_per_page;
+        self.run_kernel_path(crate::layout::KernelPath::Mm, insns);
+        let page_index = ea.page_index();
+        if self.uses_htab() {
+            let vsid = self.user_vsid(idx, ea);
+            let cached = self.cfg.htab_cached;
+            let mut cost: Cycles = 0;
+            let machine = &mut self.machine;
+            let (_, cleared) = self.htab.invalidate_with(vsid, page_index, |pa| {
+                cost += machine.mem.data_read(pa, cached);
+            });
+            if cleared {
+                // Write the cleared valid bit back.
+                cost += 2;
+            }
+            self.machine.charge(cost);
+        }
+        // tlbie + sync.
+        self.machine.mmu.tlbie(page_index);
+        self.machine.charge(4);
+    }
+
+    /// Retires task `idx`'s whole translation context.
+    ///
+    /// * Lazy (optimized): bump to fresh VSIDs; the old entries become
+    ///   zombies for the idle task to reclaim. O(1).
+    /// * Eager (original): scan the entire hash table invalidating the
+    ///   task's entries and flush both TLBs. O(size of hash table).
+    pub fn flush_context(&mut self, idx: usize) {
+        self.stats.context_bumps += 1;
+        if self.cfg.lazy_flush {
+            // Fresh zombies exist: allow the idle reclaim one full sweep.
+            self.reclaim_scan_credit = self.htab.hash().num_groups();
+            let old = self.tasks[idx].vsids;
+            self.vsids.retire(&old);
+            let pid = self.tasks[idx].pid;
+            self.tasks[idx].vsids = self.vsids.alloc_context(pid);
+            // Reload the segment registers if this is the running task.
+            if self.current == Some(idx) {
+                let vsids = self.tasks[idx].vsids;
+                for (sr, v) in vsids.iter().enumerate() {
+                    self.machine.mmu.segments.set(sr, *v);
+                }
+                self.machine.charge(16 + 3);
+            }
+            // The increment of the context counter itself.
+            self.machine.charge(8);
+        } else {
+            let old = self.tasks[idx].vsids;
+            let old_set: std::collections::HashSet<u32> = old.iter().map(|v| v.raw()).collect();
+            // Under PID-derived VSIDs, "retiring" leaves liveness unchanged
+            // (the same VSIDs come right back); the cost is the scan.
+            self.vsids.retire(&old);
+            let pid = self.tasks[idx].pid;
+            self.tasks[idx].vsids = self.vsids.alloc_context(pid);
+            if self.uses_htab() {
+                let (scanned, _cleared) = self
+                    .htab
+                    .invalidate_matching(|v| old_set.contains(&v.raw()));
+                // The scan reads every slot; charge it as a sequential sweep
+                // through the data cache.
+                let cached = self.cfg.htab_cached;
+                let mut cost: Cycles = 0;
+                for g in 0..scanned / 8 {
+                    // One read per PTE; slots share cache lines (4 per line).
+                    for s in 0..8 {
+                        cost += self
+                            .machine
+                            .mem
+                            .data_read(self.htab.slot_pa(g, s as usize), cached);
+                    }
+                }
+                self.machine.charge(cost);
+            }
+            self.machine.mmu.flush_tlbs();
+            self.machine.charge(32);
+        }
+    }
+}

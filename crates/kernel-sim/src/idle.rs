@@ -1,0 +1,122 @@
+//! The idle task — the paper's title optimization.
+//!
+//! When the CPU has nothing to run, the idle task (paper §7, §9):
+//!
+//! 1. scans a few hash-table groups and physically invalidates zombie PTEs
+//!    (valid bit set, VSID retired), so the reload code finds empty slots
+//!    instead of evicting live entries, and
+//! 2. clears free pages so `get_free_page()` can skip the clear on the
+//!    demand path — through the cache (the §9 pessimization) or with the
+//!    cache inhibited (the win).
+
+use ppc_machine::Cycles;
+
+use crate::kernel::Kernel;
+use crate::layout::KernelPath;
+
+/// PTEG groups scanned per idle-loop iteration.
+pub const RECLAIM_GROUPS_PER_STEP: u32 = 8;
+
+impl Kernel {
+    /// Runs the idle task for (at least) `budget` cycles — called by
+    /// workloads whenever the simulated system would be waiting for I/O or
+    /// has an empty run queue.
+    pub fn run_idle(&mut self, budget: Cycles) {
+        let start = self.machine.cycles;
+        let end = start + budget;
+        // Upper bounds on one step of each duty, so a step is only started
+        // if it fits in the remaining stall (the real idle task is simply
+        // preempted; the budget models the end of the I/O wait).
+        const RECLAIM_STEP_BOUND: Cycles = 4_000;
+        const CLEAR_STEP_BOUND: Cycles = 12_000;
+        while self.machine.cycles < end {
+            let before = self.machine.cycles;
+            // The idle loop body itself. With the §10.1 cache lock the loop
+            // runs out of locked lines and costs pure pipeline cycles.
+            if self.cfg.idle_cache_lock {
+                self.machine.charge(8);
+            } else {
+                self.run_kernel_path(KernelPath::Idle, 8);
+            }
+            if self.cfg.idle_reclaim {
+                let remaining = end.saturating_sub(self.machine.cycles);
+                if remaining > RECLAIM_STEP_BOUND {
+                    self.idle_reclaim_step();
+                }
+            }
+            if self.cfg.page_clearing.idle_clears() {
+                let remaining = end.saturating_sub(self.machine.cycles);
+                if remaining > CLEAR_STEP_BOUND {
+                    self.idle_clear_step();
+                }
+            }
+            // Guarantee forward progress even if every duty was a no-op.
+            if self.machine.cycles == before {
+                self.machine.charge(16);
+            }
+        }
+        self.stats.idle_cycles += self.machine.cycles - start;
+    }
+
+    /// One reclaim step: scan [`RECLAIM_GROUPS_PER_STEP`] PTEGs, clearing
+    /// the valid bit of every zombie. "All data structures used to keep
+    /// track … are lock free and interrupts are left enabled" (§9) — the
+    /// step is small so the idle task can be preempted between steps.
+    pub fn idle_reclaim_step(&mut self) {
+        // Nothing retired since the last full sweep: no zombies to find.
+        if self.reclaim_scan_credit == 0 {
+            return;
+        }
+        self.reclaim_scan_credit = self
+            .reclaim_scan_credit
+            .saturating_sub(RECLAIM_GROUPS_PER_STEP);
+        // The scan is cache-inhibited when the idle task is locked out of
+        // the cache (§10.1), else it goes through the D-cache.
+        let cached = self.cfg.htab_cached && !self.cfg.idle_cache_lock;
+        self.reclaim_chunk(RECLAIM_GROUPS_PER_STEP, cached);
+    }
+
+    /// Scans `groups` PTEGs from the reclaim cursor, invalidating zombies
+    /// and charging the slot reads. Shared by the idle-task scan and the
+    /// §7-rejected on-scarcity reclaim. Returns `(scanned, cleared)` slots.
+    pub(crate) fn reclaim_chunk(&mut self, groups: u32, cached: bool) -> (u32, u32) {
+        let start_group = self.htab.reclaim_cursor();
+        let vsids = &self.vsids;
+        let (scanned, cleared) = self
+            .htab
+            .reclaim_zombies(groups, |vsid| vsids.is_live(vsid));
+        self.stats.idle_groups_scanned += (scanned / 8) as u64;
+        // Charge the slot reads at the addresses actually scanned, plus the
+        // valid-bit writes for cleared zombies.
+        let base = self.htab.slot_pa(start_group, 0);
+        let mut cost: Cycles = 0;
+        for i in 0..scanned {
+            cost += self.machine.mem.data_read(base + i * 8, cached);
+        }
+        cost += cleared as Cycles * 2;
+        self.machine.charge(cost);
+        (scanned, cleared)
+    }
+
+    /// One page-clearing step: take a dirty free frame, clear it per policy,
+    /// and (policy permitting) remember it on the pre-cleared list.
+    pub fn idle_clear_step(&mut self) {
+        let Some(pa) = self.frames.take_frame_for_idle_clear() else {
+            return;
+        };
+        if self.cfg.page_clearing.through_cache() {
+            // Cached stores: every line fills, dirties, and displaces a
+            // line of whatever the workload had cached — §9's pessimization.
+            self.machine.zero_page_stores_pa(pa);
+        } else {
+            self.machine.zero_page_pa(pa, false);
+        }
+        self.phys.zero_page(pa);
+        self.stats.idle_pages_cleared += 1;
+        if self.cfg.page_clearing.uses_list() {
+            self.frames.deposit_precleared(pa);
+        } else {
+            self.frames.return_uncleared(pa);
+        }
+    }
+}

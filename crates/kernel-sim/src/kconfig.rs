@@ -1,0 +1,259 @@
+//! Kernel configuration: every optimization in the paper as a toggle.
+
+/// How VSIDs are assigned to address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VsidPolicy {
+    /// Derive VSIDs from the process identifier: `vsid = pid * constant + sr`
+    /// (paper §5.2). The scatter `constant` is the tuning knob — a small
+    /// non-power-of-two spreads PTEs across the hash table; a power of two
+    /// creates hot-spots.
+    PidScatter {
+        /// The multiplier applied to the PID.
+        constant: u32,
+    },
+    /// A monotonically increasing memory-management context counter
+    /// (paper §7): each (re)assignment takes fresh VSIDs, which is what makes
+    /// lazy flushing possible — old VSIDs become zombies instead of being
+    /// searched out of the hash table.
+    ContextCounter {
+        /// The scatter multiplier applied to the context number.
+        constant: u32,
+    },
+}
+
+impl VsidPolicy {
+    /// The scatter constant in use.
+    pub fn constant(self) -> u32 {
+        match self {
+            VsidPolicy::PidScatter { constant } | VsidPolicy::ContextCounter { constant } => {
+                constant
+            }
+        }
+    }
+}
+
+/// The TLB-miss / hash-table-miss handler implementation (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerStyle {
+    /// The original approach: "we turned the MMU on, saved state and jumped
+    /// to fault handlers written in C".
+    SlowC,
+    /// The rewritten handlers: hand-scheduled assembly using only the four
+    /// swapped registers, MMU off, shortest possible path.
+    FastAsm,
+}
+
+/// Page-clearing policy (paper §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageClearing {
+    /// No idle clearing: `get_free_page()` clears on demand (baseline).
+    OnDemand,
+    /// Idle task clears pages *through the cache* and lists them — the §9
+    /// "optimization" that made the kernel compile nearly twice as slow.
+    IdleCached,
+    /// Idle task clears pages with the cache inhibited but does **not** put
+    /// them on the pre-cleared list (§9's control experiment: no gain, no
+    /// loss).
+    IdleUncachedNoList,
+    /// Idle task clears pages cache-inhibited and lists them for
+    /// `get_free_page()` — the configuration that "became much faster".
+    IdleUncached,
+}
+
+impl PageClearing {
+    /// Whether the idle task clears pages at all under this policy.
+    pub fn idle_clears(self) -> bool {
+        !matches!(self, PageClearing::OnDemand)
+    }
+
+    /// Whether cleared pages are remembered on the pre-cleared list.
+    pub fn uses_list(self) -> bool {
+        matches!(self, PageClearing::IdleCached | PageClearing::IdleUncached)
+    }
+
+    /// Whether clearing goes through the data cache.
+    pub fn through_cache(self) -> bool {
+        matches!(self, PageClearing::IdleCached)
+    }
+}
+
+/// The complete kernel policy configuration.
+///
+/// [`KernelConfig::unoptimized`] is the paper's baseline kernel;
+/// [`KernelConfig::optimized`] is the end state with every published
+/// optimization enabled. Individual experiments flip one field at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Map kernel text/data (and the linear map, covering htab and page
+    /// tables) with BAT registers instead of PTEs (paper §5.1).
+    pub use_bats: bool,
+    /// Dedicate a data BAT to the I/O / frame-buffer aperture (§5.1 — the
+    /// paper found this did not help much).
+    pub io_bat: bool,
+    /// VSID allocation policy.
+    pub vsid_policy: VsidPolicy,
+    /// TLB-miss handler implementation (§6.1).
+    pub handler: HandlerStyle,
+    /// On the 603, keep emulating the 604's hash-table search in the
+    /// software TLB-miss handler (`true`) or reload straight from the Linux
+    /// page tables, "improving hash tables away" (`false`, §6.2). Ignored on
+    /// the 604, whose hardware forces the hash table.
+    pub htab_on_603: bool,
+    /// Lazy TLB flushes: retire the whole context by bumping VSIDs instead
+    /// of searching the hash table (§7). Requires
+    /// [`VsidPolicy::ContextCounter`].
+    pub lazy_flush: bool,
+    /// Range-flush cutoff in pages (§7): ranges larger than this flush the
+    /// whole context (when lazy flushing is on) instead of per-page
+    /// searches. `None` means always flush per page. The paper settled on
+    /// 20 pages.
+    pub flush_cutoff_pages: Option<u32>,
+    /// Idle-task zombie-PTE reclaim (§7).
+    pub idle_reclaim: bool,
+    /// The design §7 describes and rejects: reclaim zombies *synchronously*
+    /// when an insert finds the table scarce ("clear them when hash table
+    /// space became scarce") — the cost lands on whoever faulted, making
+    /// "performance ... inconsistent". Implemented for the ablation that
+    /// quantifies that inconsistency.
+    pub scarcity_reclaim: bool,
+    /// Page-clearing policy (§9).
+    pub page_clearing: PageClearing,
+    /// Whether hash-table accesses go through the data cache (§8 analyses
+    /// the pollution this causes; `false` models the proposed uncached page
+    /// tables).
+    pub htab_cached: bool,
+    /// Whether Linux page-table walks go through the data cache (§8).
+    pub linux_pt_cached: bool,
+    /// Lock the idle task's cache lines / run the idle loop effectively
+    /// uncached (§10.1 future work).
+    pub idle_cache_lock: bool,
+    /// Software cache preloads in context-switch and interrupt entry code
+    /// (§10.2 future work).
+    pub cache_preloads: bool,
+}
+
+impl KernelConfig {
+    /// The paper's baseline: the original Linux/PPC kernel before the
+    /// optimization campaign.
+    pub fn unoptimized() -> Self {
+        Self {
+            use_bats: false,
+            io_bat: false,
+            // The original strategy was already PID-derived with a scatter
+            // multiplier (§5.2 "The obvious strategy"), just untuned.
+            vsid_policy: VsidPolicy::PidScatter { constant: 16 },
+            handler: HandlerStyle::SlowC,
+            htab_on_603: true,
+            lazy_flush: false,
+            flush_cutoff_pages: None,
+            idle_reclaim: false,
+            scarcity_reclaim: false,
+            page_clearing: PageClearing::OnDemand,
+            htab_cached: true,
+            linux_pt_cached: true,
+            idle_cache_lock: false,
+            cache_preloads: false,
+        }
+    }
+
+    /// Every published optimization enabled (the kernel of Tables 1–3's
+    /// "Linux/PPC" rows).
+    pub fn optimized() -> Self {
+        Self {
+            use_bats: true,
+            io_bat: false,
+            vsid_policy: VsidPolicy::ContextCounter { constant: 897 },
+            handler: HandlerStyle::FastAsm,
+            htab_on_603: false,
+            lazy_flush: true,
+            flush_cutoff_pages: Some(20),
+            idle_reclaim: true,
+            scarcity_reclaim: false,
+            page_clearing: PageClearing::IdleUncached,
+            htab_cached: true,
+            linux_pt_cached: true,
+            idle_cache_lock: false,
+            cache_preloads: false,
+        }
+    }
+
+    /// The optimized kernel plus the paper's §10 future-work extensions
+    /// (uncached page tables, idle cache locking, cache preloads).
+    pub fn extended() -> Self {
+        Self {
+            htab_cached: false,
+            linux_pt_cached: false,
+            idle_cache_lock: true,
+            cache_preloads: true,
+            ..Self::optimized()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lazy flushing is requested without the context-counter VSID
+    /// policy (the mechanism it depends on), or if a zero scatter constant
+    /// is configured.
+    pub fn validate(&self) {
+        if self.lazy_flush {
+            assert!(
+                matches!(self.vsid_policy, VsidPolicy::ContextCounter { .. }),
+                "lazy flushes require the context-counter VSID policy"
+            );
+        }
+        assert!(
+            self.vsid_policy.constant() > 0,
+            "scatter constant must be nonzero"
+        );
+        if let Some(c) = self.flush_cutoff_pages {
+            assert!(c > 0, "flush cutoff must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        KernelConfig::unoptimized().validate();
+        KernelConfig::optimized().validate();
+        KernelConfig::extended().validate();
+    }
+
+    #[test]
+    fn optimized_uses_paper_settings() {
+        let c = KernelConfig::optimized();
+        assert!(c.use_bats && c.lazy_flush && c.idle_reclaim);
+        assert_eq!(c.flush_cutoff_pages, Some(20), "paper §7: 20-page cutoff");
+        assert_eq!(c.handler, HandlerStyle::FastAsm);
+        assert!(!c.htab_on_603, "§6.2: hash table improved away on the 603");
+        assert_eq!(c.page_clearing, PageClearing::IdleUncached);
+    }
+
+    #[test]
+    #[should_panic(expected = "lazy flushes require")]
+    fn lazy_flush_requires_context_counter() {
+        let mut c = KernelConfig::optimized();
+        c.vsid_policy = VsidPolicy::PidScatter { constant: 897 };
+        c.validate();
+    }
+
+    #[test]
+    fn page_clearing_predicates() {
+        assert!(!PageClearing::OnDemand.idle_clears());
+        assert!(PageClearing::IdleCached.through_cache());
+        assert!(!PageClearing::IdleUncached.through_cache());
+        assert!(PageClearing::IdleUncached.uses_list());
+        assert!(!PageClearing::IdleUncachedNoList.uses_list());
+    }
+
+    #[test]
+    fn scatter_constant_accessor() {
+        assert_eq!(VsidPolicy::PidScatter { constant: 7 }.constant(), 7);
+        assert_eq!(VsidPolicy::ContextCounter { constant: 897 }.constant(), 897);
+    }
+}

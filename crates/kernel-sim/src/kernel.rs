@@ -1,0 +1,731 @@
+//! The kernel proper: state, boot, and the translate-and-access engine.
+
+use ppc_machine::{Cycles, Machine, MachineConfig};
+use ppc_mmu::addr::{EffectiveAddress, PhysAddr, VirtualAddress, PAGE_SIZE};
+use ppc_mmu::bat::BatEntry;
+use ppc_mmu::htab::HashTable;
+use ppc_mmu::translate::{AccessType, Translation};
+
+use crate::fs::File;
+use crate::kconfig::{HandlerStyle, KernelConfig};
+use crate::layout::{
+    self, is_io, is_kernel_linear, is_user, pa_to_kva, HTAB_GROUPS, HTAB_PA, IO_BYTES,
+    IO_VIRT_BASE, RAM_BYTES,
+};
+use crate::linuxpt::LinuxPageTables;
+use crate::physmem::{FrameAllocator, PhysMem};
+use crate::pipe::Pipe;
+use crate::stats::KernelStats;
+use crate::task::{Pid, Task};
+use crate::vsid::{kernel_vsid, VsidAllocator};
+
+/// Per-path instruction counts: how long each kernel code path is.
+///
+/// Two presets correspond to the paper's "original" and hand-tuned kernels;
+/// the comparison-OS models (Table 3) install their own, heavier values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLengths {
+    /// Syscall entry + dispatch + exit.
+    pub syscall: u32,
+    /// Scheduler pick + context-switch body.
+    pub sched: u32,
+    /// Hand-written assembly TLB-reload handler body.
+    pub fault_asm: u32,
+    /// C reload / page-fault handler body (MMU on).
+    pub fault_c: u32,
+    /// One pipe read or write.
+    pub pipe_op: u32,
+    /// File-read path per page (page-cache lookup etc.).
+    pub file_per_page: u32,
+    /// mmap/munmap fixed part.
+    pub mm_op: u32,
+    /// mmap/munmap per-page part (PTE setup / teardown).
+    pub mm_per_page: u32,
+    /// Per-page TLB/hash-table flush path (the C `flush_hash_page` walk).
+    pub flush_per_page: u32,
+    /// Process creation (fork+exec-lite).
+    pub spawn: u32,
+    /// Extra kernel entries/exits per IPC operation (microkernel message
+    /// hops; 0 for a monolithic kernel).
+    pub ipc_hops: u32,
+    /// Data copies each pipe byte suffers per side (1 = direct kernel
+    /// buffer; 2 models a user-level server double copy).
+    pub pipe_copies: u32,
+    /// Extra path run per ring-buffer fill/drain during bulk transfers
+    /// (wakeup/select bookkeeping; for the Mach systems, the per-buffer
+    /// VM/IPC machinery that dominates their pipe bandwidth).
+    pub pipe_chunk_insns: u32,
+    /// Signal delivery path (queueing, frame setup, sigreturn).
+    pub signal: u32,
+}
+
+impl PathLengths {
+    /// The hand-tuned optimized kernel's path lengths.
+    pub fn tuned() -> Self {
+        Self {
+            syscall: 180,
+            sched: 550,
+            fault_asm: 14,
+            fault_c: 300,
+            pipe_op: 1100,
+            file_per_page: 800,
+            mm_op: 1500,
+            mm_per_page: 12,
+            flush_per_page: 40,
+            spawn: 2500,
+            ipc_hops: 0,
+            pipe_copies: 1,
+            pipe_chunk_insns: 400,
+            signal: 300,
+        }
+    }
+
+    /// The original (pre-optimization) kernel's path lengths: generic
+    /// save-everything exception code and untuned C paths.
+    pub fn original() -> Self {
+        Self {
+            syscall: 2000,
+            sched: 2500,
+            fault_asm: 40,
+            fault_c: 520,
+            pipe_op: 2200,
+            file_per_page: 1400,
+            mm_op: 2500,
+            mm_per_page: 30,
+            flush_per_page: 150,
+            spawn: 4200,
+            ipc_hops: 0,
+            pipe_copies: 1,
+            pipe_chunk_insns: 1200,
+            signal: 1100,
+        }
+    }
+
+    /// Path lengths implied by a kernel configuration.
+    pub fn for_config(cfg: &KernelConfig) -> Self {
+        match cfg.handler {
+            HandlerStyle::FastAsm => Self::tuned(),
+            HandlerStyle::SlowC => Self::original(),
+        }
+    }
+}
+
+/// Physical address of the assembly exception stubs (the first page of
+/// kernel text holds the vectors, as on real hardware).
+pub const HANDLER_STUB_PA: PhysAddr = 0x3000;
+
+/// The simulated kernel.
+///
+/// Owns the machine, all physical memory, the hash table, the VSID
+/// allocator, and every task. All paper experiments drive a `Kernel`.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The hardware.
+    pub machine: Machine,
+    /// Policy configuration.
+    pub cfg: KernelConfig,
+    /// Kernel path lengths (instruction counts).
+    pub paths: PathLengths,
+    /// Simulated RAM contents.
+    pub phys: PhysMem,
+    /// The frame allocator.
+    pub frames: FrameAllocator,
+    /// The architected hash table.
+    pub htab: HashTable,
+    /// VSID allocation and liveness.
+    pub vsids: VsidAllocator,
+    /// All tasks, indexed by slot.
+    pub tasks: Vec<Task>,
+    /// The currently running task (slot), if any.
+    pub current: Option<usize>,
+    /// Round-robin run queue of task slots.
+    pub run_queue: std::collections::VecDeque<usize>,
+    /// Open pipes.
+    pub pipes: Vec<Pipe>,
+    /// Files (with their page caches).
+    pub files: Vec<File>,
+    /// Kernel event counters.
+    pub stats: KernelStats,
+    /// The kernel's own page tables (covering the linear map when BATs are
+    /// off).
+    pub kernel_pt: LinuxPageTables,
+    next_pid: Pid,
+    /// Recursion guard for nested TLB misses taken inside a reload handler.
+    in_reload: bool,
+    /// PTEG groups the idle reclaim may still scan before going back to
+    /// sleep: topped up to a full sweep whenever a context is retired, so
+    /// the idle task does not pointlessly re-stream the hash table through
+    /// the cache when no zombies can exist.
+    pub(crate) reclaim_scan_credit: u32,
+    /// Reference counts for frames shared copy-on-write between address
+    /// spaces (absent = exclusively owned).
+    pub(crate) shared_frames: std::collections::HashMap<PhysAddr, u32>,
+}
+
+impl Kernel {
+    /// Boots a kernel on `machine_cfg` under policy `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`KernelConfig::validate`]).
+    pub fn boot(machine_cfg: MachineConfig, cfg: KernelConfig) -> Self {
+        let paths = PathLengths::for_config(&cfg);
+        Self::boot_with_paths(machine_cfg, cfg, paths)
+    }
+
+    /// Boots with explicit path lengths (used by the comparison-OS models).
+    pub fn boot_with_paths(
+        machine_cfg: MachineConfig,
+        cfg: KernelConfig,
+        paths: PathLengths,
+    ) -> Self {
+        cfg.validate();
+        let mut machine = Machine::new(machine_cfg);
+        // Kernel segment registers hold their fixed VSIDs forever.
+        for sr in 12..16 {
+            machine.mmu.segments.set(sr, kernel_vsid(sr));
+        }
+        if cfg.use_bats {
+            // One BAT pair covers the whole 32 MiB linear map: kernel text,
+            // data, htab and page tables all translate "for free" (§5.1).
+            let bat = BatEntry::new(layout::KERNEL_VIRT_BASE, 0, RAM_BYTES, true);
+            machine.mmu.bats.set_dbat(0, Some(bat));
+            machine.mmu.bats.set_ibat(0, Some(bat));
+        }
+        if cfg.io_bat {
+            // Dedicated uncached BAT for the frame-buffer aperture.
+            let io = BatEntry::new(IO_VIRT_BASE, IO_VIRT_BASE, IO_BYTES, false);
+            machine.mmu.bats.set_dbat(3, Some(io));
+        }
+        let mut frames = FrameAllocator::new();
+        let kernel_pgd = frames
+            .get_pt_page()
+            .expect("page-table pool cannot be empty at boot");
+        let mut phys = PhysMem::new();
+        phys.zero_page(kernel_pgd);
+        Self {
+            machine,
+            cfg,
+            paths,
+            phys,
+            frames,
+            htab: HashTable::new(HTAB_GROUPS, HTAB_PA),
+            vsids: VsidAllocator::new(cfg.vsid_policy),
+            tasks: Vec::new(),
+            current: None,
+            run_queue: std::collections::VecDeque::new(),
+            pipes: Vec::new(),
+            files: Vec::new(),
+            stats: KernelStats::default(),
+            kernel_pt: LinuxPageTables::new(kernel_pgd),
+            next_pid: 1,
+            in_reload: false,
+            reclaim_scan_credit: 0,
+            shared_frames: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Boots with a non-standard hash-table size (in PTEGs). The paper keeps
+    /// the table fixed at 2048 groups; tests use smaller tables to reach
+    /// full-table dynamics quickly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is not a power of two.
+    pub fn boot_with_htab_groups(
+        machine_cfg: MachineConfig,
+        cfg: KernelConfig,
+        groups: u32,
+    ) -> Self {
+        let mut k = Self::boot(machine_cfg, cfg);
+        k.htab = HashTable::new(groups, HTAB_PA);
+        k
+    }
+
+    /// The currently running task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is current.
+    pub fn cur(&self) -> &Task {
+        &self.tasks[self.current.expect("no current task")]
+    }
+
+    /// Mutable access to the current task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is current.
+    pub fn cur_mut(&mut self) -> &mut Task {
+        let i = self.current.expect("no current task");
+        &mut self.tasks[i]
+    }
+
+    /// Allocates the next PID.
+    pub fn alloc_pid(&mut self) -> Pid {
+        let p = self.next_pid;
+        self.next_pid += 1;
+        p
+    }
+
+    /// Translates `ea`, servicing TLB misses and page faults, and returns
+    /// `(physical address, cacheable)`. This is the load/store pipeline.
+    pub fn translate_ref(&mut self, ea: EffectiveAddress, at: AccessType) -> (PhysAddr, bool) {
+        for _ in 0..8 {
+            match self.machine.mmu.translate(ea, at) {
+                Translation::Bat { pa, cached } => return (pa, cached),
+                Translation::TlbHit {
+                    pa,
+                    cached,
+                    writable,
+                } => {
+                    if at == AccessType::DataWrite && !writable {
+                        // Store through a read-only translation: the
+                        // protection fault that drives copy-on-write.
+                        self.protection_fault(ea);
+                        continue;
+                    }
+                    return (pa, cached);
+                }
+                Translation::TlbMiss { va } => {
+                    if !self.tlb_reload(ea, va, at) {
+                        self.page_fault(ea, at);
+                    }
+                }
+            }
+        }
+        panic!("translation for {:#x} did not converge", ea.0)
+    }
+
+    /// One user/kernel data reference (a load or store of one word).
+    pub fn data_ref(&mut self, ea: EffectiveAddress, write: bool) -> Cycles {
+        let at = if write {
+            AccessType::DataWrite
+        } else {
+            AccessType::DataRead
+        };
+        let (pa, cached) = self.translate_ref(ea, at);
+        // One cycle of pipeline work for the instruction itself.
+        self.machine.charge(1);
+        1 + if write {
+            self.machine.data_write_pa(pa, cached)
+        } else {
+            self.machine.data_read_pa(pa, cached)
+        }
+    }
+
+    /// Executes `n_insns` straight-line instructions starting at `ea`,
+    /// translating page by page and fetching line by line.
+    pub fn exec_code(&mut self, ea: EffectiveAddress, n_insns: u32) -> Cycles {
+        let start = self.machine.cycles;
+        let mut remaining = n_insns;
+        let mut addr = ea.0;
+        while remaining > 0 {
+            let page_end = (addr & !(PAGE_SIZE - 1)) + PAGE_SIZE;
+            let insns_here = remaining.min((page_end - addr) / 4);
+            let (pa, cached) = self.translate_ref(EffectiveAddress(addr), AccessType::InsnFetch);
+            self.machine.exec_code_pa(pa, insns_here, cached);
+            addr = page_end;
+            remaining -= insns_here;
+        }
+        self.machine.cycles - start
+    }
+
+    /// A kernel data reference through the linear map.
+    pub fn kdata_ref(&mut self, pa: PhysAddr, write: bool) -> Cycles {
+        self.data_ref(pa_to_kva(pa), write)
+    }
+
+    /// Touches the `mem_map` entry (`struct page`) for the frame holding
+    /// `pa` — every allocator and page-cache operation does this.
+    pub fn mem_map_ref(&mut self, pa: PhysAddr, write: bool) -> Cycles {
+        let pfn = pa >> 12;
+        self.kdata_ref(
+            layout::MEM_MAP_PA + pfn * layout::MEM_MAP_ENTRY_BYTES,
+            write,
+        )
+    }
+
+    /// Touches a kernel metadata structure (inode, buffer head, vma, pipe
+    /// inode...) identified by `tag`. Metadata is spread across the kernel
+    /// data region, exactly like slab-allocated structures — this spread is
+    /// what gives the kernel its TLB footprint ("33% of the TLB entries
+    /// under Linux/PPC were for kernel text, data and I/O pages", §5.1)
+    /// when the kernel is not BAT-mapped.
+    pub fn kmeta_ref(&mut self, tag: u32, write: bool) -> Cycles {
+        let region_pages = layout::KERNEL_DATA_BYTES / PAGE_SIZE;
+        let page = tag.wrapping_mul(2654435761) % region_pages;
+        let off = (tag.wrapping_mul(40503) % (PAGE_SIZE / 64)) * 64;
+        self.kdata_ref(layout::KERNEL_DATA_PA + page * PAGE_SIZE + off, write)
+    }
+
+    /// Runs a named kernel code path for `insns` instructions: I-side
+    /// traffic through the kernel mapping (BATs or PTEs — this is where the
+    /// kernel's TLB footprint comes from, §5.1).
+    ///
+    /// Real kernel code is loops and calls into helpers, not `insns * 4`
+    /// bytes of straight-line text: each path executes 128-instruction
+    /// chunks spread over a text span that grows with the path length
+    /// (roughly one page of text per 250 instructions of path, capped at
+    /// 12 pages). Long tuned paths therefore stay I-cache- and I-TLB-small
+    /// while the original kernel's fat paths have the large text footprint
+    /// the paper complains about ("careful design to minimize the OS caching
+    /// footprint").
+    pub fn run_kernel_path(&mut self, path: layout::KernelPath, insns: u32) -> Cycles {
+        let span_pages = (1 + insns / 250).min(12);
+        let base = path.text_ea().0;
+        let mut fetched = 0;
+        let mut remaining = insns;
+        let mut chunk_idx = 0;
+        while remaining > 0 {
+            let chunk = remaining.min(128);
+            let page = chunk_idx % span_pages;
+            let ea = EffectiveAddress(base + page * PAGE_SIZE + (chunk_idx % 4) * 1024);
+            // Three quarters of each chunk are loop iterations over lines
+            // just fetched; only a quarter advances through fresh text. The
+            // I-cache (not this model) decides whether the fresh lines hit.
+            let fresh = (chunk / 4).max(chunk.min(16));
+            fetched += self.exec_code(ea, fresh);
+            self.machine.charge((chunk - fresh) as Cycles);
+            remaining -= chunk;
+            chunk_idx += 1;
+        }
+        fetched
+    }
+
+    /// User data accesses: `len` bytes starting at `ea` (read or write), one
+    /// reference per 32-byte line, as a user-mode copy loop would generate.
+    pub fn user_access(&mut self, ea: u32, len: u32, write: bool) -> Cycles {
+        let start = self.machine.cycles;
+        let line = 32;
+        let mut off = 0;
+        while off < len {
+            self.data_ref(EffectiveAddress(ea + off), write);
+            off += line;
+        }
+        self.machine.cycles - start
+    }
+
+    /// Convenience: write `len` bytes of user memory at `ea`.
+    pub fn user_write(&mut self, ea: u32, len: u32) -> Cycles {
+        self.user_access(ea, len, true)
+    }
+
+    /// Convenience: read `len` bytes of user memory at `ea`.
+    pub fn user_read(&mut self, ea: u32, len: u32) -> Cycles {
+        self.user_access(ea, len, false)
+    }
+
+    /// The TLB-miss reload path. Returns `false` when neither the hash table
+    /// nor the Linux page tables hold a translation (a real page fault).
+    fn tlb_reload(&mut self, ea: EffectiveAddress, va: VirtualAddress, at: AccessType) -> bool {
+        use ppc_machine::CpuModel;
+        let kernel_side = !is_user(ea);
+        if kernel_side {
+            self.stats.kernel_reloads += 1;
+        }
+        // A nested miss while already reloading (SlowC handler touching
+        // kernel text/data) takes the minimal assembly path and resolves
+        // from the linear map directly.
+        if self.in_reload {
+            assert!(kernel_side, "user access inside a reload handler");
+            self.machine
+                .charge(self.machine.cfg.costs.tlb_miss_invoke_return.max(32));
+            return self.install_kernel_linear(ea, va, at);
+        }
+        self.in_reload = true;
+        let ok = match self.machine.cfg.model {
+            CpuModel::Ppc604 => self.reload_604(ea, va, at),
+            CpuModel::Ppc603 => self.reload_603(ea, va, at),
+        };
+        self.in_reload = false;
+        ok
+    }
+
+    /// 604: hardware hash-table walk, then (on miss) the software handler.
+    fn reload_604(&mut self, ea: EffectiveAddress, va: VirtualAddress, at: AccessType) -> bool {
+        let costs = self.machine.cfg.costs;
+        self.machine.charge(costs.hw_walk_overhead);
+        if self.htab_lookup_reload(va, at) {
+            return true;
+        }
+        // Hash-table miss interrupt: "at least 91 more cycles to just invoke
+        // the handler" (§5).
+        self.machine.charge(costs.htab_miss_interrupt);
+        self.run_handler_body();
+        self.reload_from_linux_pt(ea, va, at, true)
+    }
+
+    /// 603: software TLB-miss handler.
+    ///
+    /// * [`HandlerStyle::SlowC`] is the original kernel: *every* miss turns
+    ///   the MMU on, saves state and runs the C handler ("Originally, we
+    ///   turned the MMU on, saved state and jumped to fault handlers written
+    ///   in C", §6.1).
+    /// * [`HandlerStyle::FastAsm`] resolves the common case entirely in the
+    ///   hand-scheduled stub using only the four swapped registers, reaching
+    ///   C only when the mapping is not where the stub can find it.
+    fn reload_603(&mut self, ea: EffectiveAddress, va: VirtualAddress, at: AccessType) -> bool {
+        let costs = self.machine.cfg.costs;
+        // "32 cycles simply to invoke and return from the handler" (§5).
+        self.machine.charge(costs.tlb_miss_invoke_return);
+        // The handler stub itself (physical fetch, tiny).
+        let stub = self.paths.fault_asm;
+        self.machine.exec_code_pa(HANDLER_STUB_PA, stub, true);
+        if self.cfg.handler == HandlerStyle::SlowC {
+            // The original path pays the full save + C handler on every miss.
+            self.run_handler_body();
+        }
+        if self.cfg.htab_on_603 {
+            // Emulate the 604: search the hash table in software.
+            if self.htab_lookup_reload(va, at) {
+                return true;
+            }
+            // Emulated hash-table miss: the fast kernel only reaches C here.
+            if self.cfg.handler == HandlerStyle::FastAsm {
+                self.run_handler_body_fast_fallback();
+            }
+            self.reload_from_linux_pt(ea, va, at, true)
+        } else {
+            // §6.2 "Improving hash tables away": go straight to the Linux
+            // PTE tree — three loads in the worst case.
+            self.reload_from_linux_pt(ea, va, at, false)
+        }
+    }
+
+    /// The fast kernel's C fallback when the assembly path cannot resolve a
+    /// miss: shorter than the original handler (state already minimal).
+    fn run_handler_body_fast_fallback(&mut self) {
+        let insns = self.paths.fault_c / 2;
+        self.run_kernel_path(layout::KernelPath::FaultHandler, insns);
+    }
+
+    /// Searches the hash table and reloads the TLB on a hit. Probe traffic
+    /// is charged through the data cache (or uncached, per §8's experiment).
+    fn htab_lookup_reload(&mut self, va: VirtualAddress, at: AccessType) -> bool {
+        let cached = self.cfg.htab_cached;
+        let mut probe_cycles: Cycles = 0;
+        let machine = &mut self.machine;
+        let out = self.htab.search_with(va.vsid, va.page_index, |pa| {
+            probe_cycles += machine.mem.data_read(pa, cached);
+        });
+        machine.charge(probe_cycles);
+        match out.pte {
+            Some(pte) => {
+                self.machine.mmu.reload(
+                    at,
+                    ppc_mmu::tlb::TlbEntry {
+                        vsid: va.vsid,
+                        page_index: va.page_index,
+                        rpn: pte.rpn,
+                        cached: !pte.cache_inhibited,
+                        writable: pte.pp == 2,
+                    },
+                );
+                self.stats.tlb_reloads += 1;
+                self.stats.htab_hits += 1;
+                true
+            }
+            None => {
+                self.stats.htab_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// The C/asm handler body that runs after a hash-table miss.
+    fn run_handler_body(&mut self) {
+        match self.cfg.handler {
+            HandlerStyle::FastAsm => {
+                // Short asm path, still MMU-off; no state save beyond the
+                // four swapped registers.
+                self.machine
+                    .exec_code_pa(HANDLER_STUB_PA + 0x100, self.paths.fault_asm, true);
+            }
+            HandlerStyle::SlowC => {
+                // "we turned the MMU on, saved state and jumped to fault
+                // handlers written in C" (§6.1).
+                let stack = self.kernel_stack_pa();
+                for i in 0..24 {
+                    let c = self.machine.mem.data_write(stack + i * 4, true);
+                    self.machine.charge(c);
+                }
+                let insns = self.paths.fault_c;
+                self.run_kernel_path(layout::KernelPath::FaultHandler, insns);
+                for i in 0..24 {
+                    let c = self.machine.mem.data_read(stack + i * 4, true);
+                    self.machine.charge(c);
+                }
+            }
+        }
+    }
+
+    /// Physical address of the current kernel stack (per task).
+    fn kernel_stack_pa(&self) -> PhysAddr {
+        match self.current {
+            Some(i) => self.tasks[i].task_struct_pa() + 0x200,
+            None => layout::KERNEL_DATA_PA + 0x8_0000,
+        }
+    }
+
+    /// Reloads from the Linux page tables (and optionally installs the PTE
+    /// in the hash table). Returns `false` if no mapping exists.
+    fn reload_from_linux_pt(
+        &mut self,
+        ea: EffectiveAddress,
+        va: VirtualAddress,
+        at: AccessType,
+        insert_htab: bool,
+    ) -> bool {
+        if is_io(ea) {
+            // I/O aperture: identity, uncached, not in the page tables.
+            return self.install_translation(va, ea.0 >> 12, false, true, at, insert_htab);
+        }
+        let pt = if is_kernel_linear(ea) {
+            self.kernel_pt
+        } else {
+            match self.current {
+                Some(i) => self.tasks[i].pt,
+                None => return false,
+            }
+        };
+        let pt_cached = self.cfg.linux_pt_cached;
+        // Load 1: current->mm->pgd (in the task struct / kernel data).
+        let ts = self.kernel_stack_pa() & !0x3ff;
+        let c = self.machine.mem.data_read(ts + 0x40, true);
+        self.machine.charge(c);
+        let walk = pt.walk(&self.phys, ea);
+        // Load 2: the PGD entry.
+        let c = self.machine.mem.data_read(walk.pgd_entry_pa, pt_cached);
+        self.machine.charge(c);
+        if let Some(pte_pa) = walk.pte_entry_pa {
+            // Load 3: the PTE itself.
+            let c = self.machine.mem.data_read(pte_pa, pt_cached);
+            self.machine.charge(c);
+        }
+        match walk.pte {
+            Some(pte) => self.install_translation(
+                va,
+                pte.pfn(),
+                pte.cached(),
+                pte.writable(),
+                at,
+                insert_htab,
+            ),
+            None if is_kernel_linear(ea) => {
+                // The kernel linear map is definitionally valid: build the
+                // missing kernel PTE on first touch (boot-time population,
+                // charged once).
+                self.install_kernel_linear(ea, va, at)
+            }
+            None => false,
+        }
+    }
+
+    /// Creates the kernel linear-map PTE for `ea` and installs it.
+    fn install_kernel_linear(
+        &mut self,
+        ea: EffectiveAddress,
+        va: VirtualAddress,
+        at: AccessType,
+    ) -> bool {
+        let pfn = layout::kva_to_pa(ea) >> 12;
+        let pte = crate::linuxpt::LinuxPte::present(pfn, crate::linuxpt::PTE_RW);
+        let pt = self.kernel_pt;
+        let frames = &mut self.frames;
+        pt.map(&mut self.phys, ea, pte, || frames.get_pt_page())
+            .expect("page-table pool exhausted for kernel map");
+        let insert = self.uses_htab();
+        self.install_translation(va, pfn, true, true, at, insert)
+    }
+
+    /// Whether this kernel keeps PTEs in the hash table at all.
+    pub fn uses_htab(&self) -> bool {
+        match self.machine.cfg.model {
+            ppc_machine::CpuModel::Ppc604 => true,
+            ppc_machine::CpuModel::Ppc603 => self.cfg.htab_on_603,
+        }
+    }
+
+    /// Installs a translation into the TLB (and the hash table when asked),
+    /// charging the insert traffic and classifying any displaced entry.
+    fn install_translation(
+        &mut self,
+        va: VirtualAddress,
+        pfn: u32,
+        cached: bool,
+        writable: bool,
+        at: AccessType,
+        insert_htab: bool,
+    ) -> bool {
+        if insert_htab {
+            let hw_pte = ppc_mmu::pte::Pte {
+                valid: true,
+                vsid: va.vsid,
+                secondary: false,
+                page_index: va.page_index,
+                rpn: pfn,
+                referenced: true,
+                changed: at == AccessType::DataWrite,
+                cache_inhibited: !cached,
+                pp: if writable { 2 } else { 1 },
+            };
+            let htab_cached = self.cfg.htab_cached;
+            let mut cost: Cycles = 0;
+            let machine = &mut self.machine;
+            let out = self.htab.insert_with(hw_pte, |pa| {
+                cost += machine.mem.data_read(pa, htab_cached);
+            });
+            // The final slot write.
+            let (g, s) = out.location;
+            let pa = self.htab.slot_pa(g, s);
+            cost += self.machine.mem.data_write(pa, htab_cached);
+            self.machine.charge(cost);
+            if let Some(d) = out.displaced {
+                if d.valid {
+                    if self.vsids.is_live(d.vsid) {
+                        self.stats.evict_live += 1;
+                    } else {
+                        self.stats.evict_zombie += 1;
+                    }
+                    if self.cfg.scarcity_reclaim {
+                        // The §7-rejected design: the table just proved
+                        // scarce, so scan a batch for zombies *now*, on the
+                        // faulting task's time.
+                        let cached = self.cfg.htab_cached;
+                        self.reclaim_chunk(32, cached);
+                    }
+                }
+            }
+        }
+        self.machine.mmu.reload(
+            at,
+            ppc_mmu::tlb::TlbEntry {
+                vsid: va.vsid,
+                page_index: va.page_index,
+                rpn: pfn,
+                cached,
+                writable,
+            },
+        );
+        self.stats.tlb_reloads += 1;
+        true
+    }
+
+    /// Snapshot of kernel + machine statistics for a measurement window.
+    pub fn stats_snapshot(&self) -> (KernelStats, ppc_machine::MonitorSnapshot) {
+        (self.stats, self.machine.snapshot())
+    }
+
+    /// Converts a cycle count to microseconds on this machine's clock.
+    pub fn time_us(&self, cycles: Cycles) -> f64 {
+        self.machine.time_of(cycles).as_us()
+    }
+
+    /// Number of frames currently shared copy-on-write between address
+    /// spaces.
+    pub fn shared_frames_len(&self) -> usize {
+        self.shared_frames.len()
+    }
+}

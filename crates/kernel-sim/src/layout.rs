@@ -1,0 +1,213 @@
+//! Physical and virtual memory layout of the simulated machine.
+//!
+//! ```text
+//! physical                          virtual (kernel view)
+//! 0x0000_0000 ─ kernel text         0xC000_0000 ─ linear map of all RAM
+//! 0x0014_0000 ─ kernel data                        (kernel EA = PA + 0xC000_0000)
+//! 0x0020_0000 ─ hash table (128 KiB)
+//! 0x0022_0000 ─ page-table pool
+//! 0x0030_0000 ─ general frame pool  0x0000_0000 ─ user space (12 segments,
+//! 0x0200_0000 ─ end of 32 MiB RAM                 0x0 .. 0xC000_0000)
+//!                                   0xF000_0000 ─ I/O space (frame buffer)
+//! ```
+
+use ppc_mmu::addr::{EffectiveAddress, PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+
+/// Total RAM (32 MiB on every machine in the paper, §4).
+pub const RAM_BYTES: u32 = 32 * 1024 * 1024;
+
+/// Kernel virtual base: "the Linux kernel usually resides at virtual address
+/// 0xc0000000" (paper §5.1).
+pub const KERNEL_VIRT_BASE: u32 = 0xc000_0000;
+
+/// Start of kernel text in physical memory.
+pub const KERNEL_TEXT_PA: PhysAddr = 0;
+
+/// Size of kernel text (1.25 MiB of code paths).
+pub const KERNEL_TEXT_BYTES: u32 = 0x14_0000;
+
+/// Start of kernel static data.
+pub const KERNEL_DATA_PA: PhysAddr = KERNEL_TEXT_PA + KERNEL_TEXT_BYTES;
+
+/// Size of kernel static data (0.75 MiB).
+pub const KERNEL_DATA_BYTES: u32 = 0x0c_0000;
+
+/// Physical base of the `mem_map` (the per-frame `struct page` array):
+/// 8192 frames x 32 bytes = 256 KiB at the top of kernel data. Allocator
+/// and page-cache operations touch it, spreading kernel data references —
+/// part of the kernel TLB footprint of §5.1.
+pub const MEM_MAP_PA: PhysAddr = KERNEL_DATA_PA + 0x8_0000;
+
+/// Bytes per `struct page` entry.
+pub const MEM_MAP_ENTRY_BYTES: u32 = 32;
+
+/// Physical base of the hash table.
+pub const HTAB_PA: PhysAddr = 0x20_0000;
+
+/// Hash table size: 16384 PTEs × 8 bytes = 128 KiB = 2048 PTEGs
+/// (paper §7: "600–700 out of 16384").
+pub const HTAB_BYTES: u32 = 128 * 1024;
+
+/// Number of PTEGs in the hash table.
+pub const HTAB_GROUPS: u32 = HTAB_BYTES / 8 / 8;
+
+/// Physical base of the page-table page pool.
+pub const PT_POOL_PA: PhysAddr = 0x22_0000;
+
+/// Size of the page-table pool (224 pages).
+pub const PT_POOL_BYTES: u32 = 0x0e_0000;
+
+/// Physical base of the general frame pool (user pages, kernel heap).
+pub const FRAME_POOL_PA: PhysAddr = 0x30_0000;
+
+/// I/O (frame-buffer) effective-address base; identity-mapped, uncached.
+pub const IO_VIRT_BASE: u32 = 0xf000_0000;
+
+/// Size of the mapped I/O aperture (4 MiB of frame buffer).
+pub const IO_BYTES: u32 = 4 * 1024 * 1024;
+
+/// Number of user segments (user space is `0x0000_0000 .. 0xC000_0000`,
+/// twelve 256 MiB segments).
+pub const USER_SEGMENTS: usize = 12;
+
+/// Converts a physical address to its kernel linear-map effective address.
+pub fn pa_to_kva(pa: PhysAddr) -> EffectiveAddress {
+    debug_assert!(pa < RAM_BYTES);
+    EffectiveAddress(KERNEL_VIRT_BASE + pa)
+}
+
+/// Converts a kernel linear-map effective address back to physical.
+pub fn kva_to_pa(ea: EffectiveAddress) -> PhysAddr {
+    debug_assert!(is_kernel_linear(ea));
+    ea.0 - KERNEL_VIRT_BASE
+}
+
+/// Whether `ea` lies in the kernel linear map.
+pub fn is_kernel_linear(ea: EffectiveAddress) -> bool {
+    (KERNEL_VIRT_BASE..KERNEL_VIRT_BASE + RAM_BYTES).contains(&ea.0)
+}
+
+/// Whether `ea` lies in user space.
+pub fn is_user(ea: EffectiveAddress) -> bool {
+    ea.0 < KERNEL_VIRT_BASE
+}
+
+/// Whether `ea` lies in the I/O aperture.
+pub fn is_io(ea: EffectiveAddress) -> bool {
+    (IO_VIRT_BASE..IO_VIRT_BASE + IO_BYTES).contains(&ea.0)
+}
+
+/// Page frame number of a physical address.
+pub fn pfn(pa: PhysAddr) -> u32 {
+    pa >> PAGE_SHIFT
+}
+
+/// Physical address of a page frame number.
+pub fn pfn_to_pa(pfn: u32) -> PhysAddr {
+    pfn << PAGE_SHIFT
+}
+
+/// Total page frames in RAM.
+pub const TOTAL_FRAMES: u32 = RAM_BYTES / PAGE_SIZE;
+
+/// Named kernel code paths, each with a fixed home in kernel text so that
+/// executing them produces realistic I-cache and I-TLB traffic (and, without
+/// BATs, realistic kernel TLB pressure — the §5.1 "33% of TLB entries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Syscall entry/exit and dispatch.
+    SyscallEntry,
+    /// The scheduler and context-switch code.
+    Schedule,
+    /// The page-fault / reload C handlers.
+    FaultHandler,
+    /// Pipe read/write.
+    Pipe,
+    /// File read and page-cache code.
+    File,
+    /// Memory-management service code (mmap, munmap, fork).
+    Mm,
+    /// The idle task.
+    Idle,
+    /// Exec / process setup.
+    Exec,
+}
+
+impl KernelPath {
+    /// Kernel-text effective address of this path's code.
+    pub fn text_ea(self) -> EffectiveAddress {
+        let off = match self {
+            KernelPath::SyscallEntry => 0x0_0000,
+            KernelPath::Schedule => 0x1_0000,
+            KernelPath::FaultHandler => 0x2_0000,
+            KernelPath::Pipe => 0x3_0000,
+            KernelPath::File => 0x4_0000,
+            KernelPath::Mm => 0x5_0000,
+            KernelPath::Idle => 0x6_0000,
+            KernelPath::Exec => 0x7_0000,
+        };
+        pa_to_kva(KERNEL_TEXT_PA + off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(KERNEL_TEXT_PA + KERNEL_TEXT_BYTES <= KERNEL_DATA_PA + KERNEL_DATA_BYTES);
+        assert!(KERNEL_DATA_PA + KERNEL_DATA_BYTES <= HTAB_PA);
+        assert!(HTAB_PA + HTAB_BYTES <= PT_POOL_PA);
+        assert!(PT_POOL_PA + PT_POOL_BYTES <= FRAME_POOL_PA);
+        assert!(FRAME_POOL_PA < RAM_BYTES);
+    }
+
+    #[test]
+    fn htab_is_16384_ptes() {
+        assert_eq!(HTAB_GROUPS * 8, 16384);
+        assert!(HTAB_GROUPS.is_power_of_two());
+    }
+
+    #[test]
+    fn kva_round_trip() {
+        let pa = 0x123_4560;
+        assert_eq!(kva_to_pa(pa_to_kva(pa)), pa);
+        assert!(is_kernel_linear(pa_to_kva(pa)));
+        assert!(!is_user(pa_to_kva(pa)));
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(is_user(EffectiveAddress(0)));
+        assert!(is_user(EffectiveAddress(0xbfff_ffff)));
+        assert!(!is_user(EffectiveAddress(0xc000_0000)));
+        assert!(is_io(EffectiveAddress(0xf000_0000)));
+        assert!(!is_io(EffectiveAddress(0xefff_ffff)));
+    }
+
+    #[test]
+    fn kernel_paths_live_in_kernel_text() {
+        for p in [
+            KernelPath::SyscallEntry,
+            KernelPath::Schedule,
+            KernelPath::FaultHandler,
+            KernelPath::Pipe,
+            KernelPath::File,
+            KernelPath::Mm,
+            KernelPath::Idle,
+            KernelPath::Exec,
+        ] {
+            let ea = p.text_ea();
+            assert!(is_kernel_linear(ea));
+            assert!(kva_to_pa(ea) < KERNEL_TEXT_BYTES);
+        }
+    }
+
+    #[test]
+    fn frame_arithmetic() {
+        assert_eq!(pfn(0x30_0000), 0x300);
+        assert_eq!(pfn_to_pa(0x300), 0x30_0000);
+        assert_eq!(TOTAL_FRAMES, 8192);
+    }
+}

@@ -1,0 +1,307 @@
+//! The Linux two-level page tables.
+//!
+//! "The core of Linux memory management is based on the x86 two-level page
+//! tables … we were committed to using these page tables as the initial
+//! source of PTEs" (paper §5.2). The tables live in simulated physical
+//! memory: a one-page PGD of 1024 word entries, each pointing to a one-page
+//! PTE table of 1024 word entries. Walks return the physical addresses they
+//! read so the caller can charge cache traffic — the worst-case software
+//! reload is the paper's "three loads" (task → PGD entry → PTE).
+
+use ppc_mmu::addr::{EffectiveAddress, PhysAddr, PAGE_SHIFT};
+
+use crate::physmem::PhysMem;
+
+/// Software PTE flag: mapping present.
+pub const PTE_PRESENT: u32 = 1 << 0;
+/// Software PTE flag: writable.
+pub const PTE_RW: u32 = 1 << 1;
+/// Software PTE flag: dirty.
+pub const PTE_DIRTY: u32 = 1 << 2;
+/// Software PTE flag: accessed.
+pub const PTE_ACCESSED: u32 = 1 << 3;
+/// Software PTE flag: cache-inhibited.
+pub const PTE_NOCACHE: u32 = 1 << 4;
+/// Software PTE flag: resident in the hash table (Linux/PPC's `_PAGE_HASHPTE`).
+pub const PTE_HASHPTE: u32 = 1 << 5;
+/// Software PTE flag: copy-on-write — the frame is shared and a store must
+/// take a protection fault and copy it first.
+pub const PTE_COW: u32 = 1 << 6;
+
+/// A decoded Linux software PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinuxPte(pub u32);
+
+impl LinuxPte {
+    /// Builds a present PTE for `pfn` with `flags`.
+    pub fn present(pfn: u32, flags: u32) -> Self {
+        LinuxPte((pfn << PAGE_SHIFT) | flags | PTE_PRESENT)
+    }
+
+    /// Whether the mapping is present.
+    pub fn is_present(self) -> bool {
+        self.0 & PTE_PRESENT != 0
+    }
+
+    /// The mapped page frame number.
+    pub fn pfn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Whether the mapping is cacheable.
+    pub fn cached(self) -> bool {
+        self.0 & PTE_NOCACHE == 0
+    }
+
+    /// Whether the PTE has been loaded into the hash table.
+    pub fn in_htab(self) -> bool {
+        self.0 & PTE_HASHPTE != 0
+    }
+
+    /// Whether stores are permitted (read-write and not copy-on-write).
+    pub fn writable(self) -> bool {
+        self.0 & PTE_RW != 0 && self.0 & PTE_COW == 0
+    }
+
+    /// Whether the mapping is copy-on-write.
+    pub fn is_cow(self) -> bool {
+        self.0 & PTE_COW != 0
+    }
+}
+
+/// Result of a page-table walk, with the addresses read along the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    /// Physical address of the PGD entry that was read.
+    pub pgd_entry_pa: PhysAddr,
+    /// Physical address of the PTE that was read (absent if the PGD entry
+    /// was empty).
+    pub pte_entry_pa: Option<PhysAddr>,
+    /// The PTE found, if present.
+    pub pte: Option<LinuxPte>,
+}
+
+/// One address space's two-level page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinuxPageTables {
+    /// Physical address of the PGD page.
+    pub pgd_pa: PhysAddr,
+}
+
+fn pgd_index(ea: EffectiveAddress) -> u32 {
+    ea.0 >> 22
+}
+
+fn pte_index(ea: EffectiveAddress) -> u32 {
+    (ea.0 >> PAGE_SHIFT) & 0x3ff
+}
+
+impl LinuxPageTables {
+    /// Wraps an already-allocated, zeroed PGD page.
+    pub fn new(pgd_pa: PhysAddr) -> Self {
+        Self { pgd_pa }
+    }
+
+    /// Physical address of the PGD entry covering `ea`.
+    pub fn pgd_entry_pa(&self, ea: EffectiveAddress) -> PhysAddr {
+        self.pgd_pa + pgd_index(ea) * 4
+    }
+
+    /// Walks the tables for `ea` without modifying them.
+    pub fn walk(&self, mem: &PhysMem, ea: EffectiveAddress) -> Walk {
+        let pgd_entry_pa = self.pgd_entry_pa(ea);
+        let pgd_entry = mem.read_u32(pgd_entry_pa);
+        if pgd_entry & PTE_PRESENT == 0 {
+            return Walk {
+                pgd_entry_pa,
+                pte_entry_pa: None,
+                pte: None,
+            };
+        }
+        let pte_page = pgd_entry & !0xfff;
+        let pte_entry_pa = pte_page + pte_index(ea) * 4;
+        let raw = mem.read_u32(pte_entry_pa);
+        let pte = LinuxPte(raw);
+        Walk {
+            pgd_entry_pa,
+            pte_entry_pa: Some(pte_entry_pa),
+            pte: pte.is_present().then_some(pte),
+        }
+    }
+
+    /// Installs a mapping. `alloc_pt_page` supplies a zeroed page when a new
+    /// PTE table is needed. Returns the walk it performed (for cost
+    /// charging) or `None` if a PTE page was needed but the allocator was
+    /// exhausted.
+    pub fn map(
+        &self,
+        mem: &mut PhysMem,
+        ea: EffectiveAddress,
+        pte: LinuxPte,
+        mut alloc_pt_page: impl FnMut() -> Option<PhysAddr>,
+    ) -> Option<Walk> {
+        let pgd_entry_pa = self.pgd_entry_pa(ea);
+        let mut pgd_entry = mem.read_u32(pgd_entry_pa);
+        if pgd_entry & PTE_PRESENT == 0 {
+            let page = alloc_pt_page()?;
+            mem.zero_page(page);
+            pgd_entry = page | PTE_PRESENT;
+            mem.write_u32(pgd_entry_pa, pgd_entry);
+        }
+        let pte_page = pgd_entry & !0xfff;
+        let pte_entry_pa = pte_page + pte_index(ea) * 4;
+        mem.write_u32(pte_entry_pa, pte.0);
+        Some(Walk {
+            pgd_entry_pa,
+            pte_entry_pa: Some(pte_entry_pa),
+            pte: Some(pte),
+        })
+    }
+
+    /// Removes the mapping for `ea`, returning the old PTE if one was
+    /// present, along with the walk.
+    pub fn unmap(&self, mem: &mut PhysMem, ea: EffectiveAddress) -> (Walk, Option<LinuxPte>) {
+        let walk = self.walk(mem, ea);
+        if let (Some(pte_pa), Some(pte)) = (walk.pte_entry_pa, walk.pte) {
+            mem.write_u32(pte_pa, 0);
+            (walk, Some(pte))
+        } else {
+            (walk, None)
+        }
+    }
+
+    /// Sets or clears flag bits on an existing PTE (e.g. `PTE_HASHPTE`).
+    /// Returns `false` if no mapping exists.
+    pub fn update_flags(
+        &self,
+        mem: &mut PhysMem,
+        ea: EffectiveAddress,
+        set: u32,
+        clear: u32,
+    ) -> bool {
+        let walk = self.walk(mem, ea);
+        match (walk.pte_entry_pa, walk.pte) {
+            (Some(pa), Some(pte)) => {
+                mem.write_u32(pa, (pte.0 | set) & !clear);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PGD: PhysAddr = 0x22_0000;
+    const PT1: PhysAddr = 0x22_1000;
+    const PT2: PhysAddr = 0x22_2000;
+
+    fn setup() -> (PhysMem, LinuxPageTables) {
+        let mem = PhysMem::new();
+        (mem, LinuxPageTables::new(PGD))
+    }
+
+    #[test]
+    fn map_then_walk_round_trip() {
+        let (mut mem, pt) = setup();
+        let ea = EffectiveAddress(0x1234_5000);
+        let mut pool = vec![PT1];
+        let pte = LinuxPte::present(0x777, PTE_RW);
+        pt.map(&mut mem, ea, pte, || pool.pop()).unwrap();
+        let w = pt.walk(&mem, ea);
+        assert_eq!(w.pte, Some(pte));
+        assert_eq!(w.pte.unwrap().pfn(), 0x777);
+        assert!(w.pte.unwrap().cached());
+    }
+
+    #[test]
+    fn walk_empty_pgd_reads_one_word() {
+        let (mem, pt) = setup();
+        let w = pt.walk(&mem, EffectiveAddress(0x4000_0000));
+        assert!(w.pte.is_none());
+        assert!(
+            w.pte_entry_pa.is_none(),
+            "no second-level read when PGD empty"
+        );
+    }
+
+    #[test]
+    fn adjacent_pages_share_a_pte_table() {
+        let (mut mem, pt) = setup();
+        let mut pool = vec![PT2, PT1];
+        pt.map(
+            &mut mem,
+            EffectiveAddress(0x1000),
+            LinuxPte::present(1, 0),
+            || pool.pop(),
+        )
+        .unwrap();
+        pt.map(
+            &mut mem,
+            EffectiveAddress(0x2000),
+            LinuxPte::present(2, 0),
+            || pool.pop(),
+        )
+        .unwrap();
+        assert_eq!(pool.len(), 1, "second map reuses the PTE table");
+        // A distant address needs a new table.
+        pt.map(
+            &mut mem,
+            EffectiveAddress(0x4000_0000),
+            LinuxPte::present(3, 0),
+            || pool.pop(),
+        )
+        .unwrap();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn unmap_clears_and_returns_old() {
+        let (mut mem, pt) = setup();
+        let ea = EffectiveAddress(0x9000);
+        let mut pool = vec![PT1];
+        pt.map(&mut mem, ea, LinuxPte::present(9, PTE_DIRTY), || pool.pop())
+            .unwrap();
+        let (_, old) = pt.unmap(&mut mem, ea);
+        assert_eq!(old.unwrap().pfn(), 9);
+        assert!(pt.walk(&mem, ea).pte.is_none());
+        let (_, none) = pt.unmap(&mut mem, ea);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn update_flags_sets_hashpte() {
+        let (mut mem, pt) = setup();
+        let ea = EffectiveAddress(0x9000);
+        let mut pool = vec![PT1];
+        pt.map(&mut mem, ea, LinuxPte::present(9, 0), || pool.pop())
+            .unwrap();
+        assert!(!pt.walk(&mem, ea).pte.unwrap().in_htab());
+        assert!(pt.update_flags(&mut mem, ea, PTE_HASHPTE, 0));
+        assert!(pt.walk(&mem, ea).pte.unwrap().in_htab());
+        assert!(pt.update_flags(&mut mem, ea, 0, PTE_HASHPTE));
+        assert!(!pt.walk(&mem, ea).pte.unwrap().in_htab());
+        assert!(!pt.update_flags(&mut mem, EffectiveAddress(0x5000_0000), PTE_HASHPTE, 0));
+    }
+
+    #[test]
+    fn map_fails_when_pool_exhausted() {
+        let (mut mem, pt) = setup();
+        let r = pt.map(
+            &mut mem,
+            EffectiveAddress(0x1000),
+            LinuxPte::present(1, 0),
+            || None,
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn nocache_flag_round_trips() {
+        let pte = LinuxPte::present(5, PTE_NOCACHE);
+        assert!(!pte.cached());
+        assert!(pte.is_present());
+    }
+}

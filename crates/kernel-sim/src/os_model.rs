@@ -1,0 +1,188 @@
+//! Comparison operating-system models for Table 3.
+//!
+//! The paper benchmarks Linux/PPC against the unoptimized Linux/PPC, Apple's
+//! Mach-based Rhapsody and MkLinux, and IBM's AIX — all on a 133 MHz 604
+//! PowerMac (AIX on a 133 MHz 604 43P). We cannot run those kernels, so we
+//! model each as the same simulated substrate with that system's *structural*
+//! overheads (substitution documented in DESIGN.md):
+//!
+//! * **Unoptimized Linux/PPC** — our kernel with every paper optimization
+//!   switched off. Fully structural, no tuning.
+//! * **MkLinux / Rhapsody** — the Linux personality runs as a Mach server:
+//!   every syscall is a Mach IPC round trip (extra kernel crossings), pipe
+//!   data is copied through the server (double copies), and context switches
+//!   traverse the Mach scheduler + port machinery (longer path).
+//! * **AIX** — a monolithic kernel without the Linux/PPC MMU tricks and with
+//!   heavier, more general code paths.
+//!
+//! The path lengths below were chosen once, from the description above and
+//! the relative magnitudes in Table 3; experiments never retune them.
+
+use ppc_machine::MachineConfig;
+
+use crate::kconfig::{HandlerStyle, KernelConfig, PageClearing, VsidPolicy};
+use crate::kernel::{Kernel, PathLengths};
+
+/// A named comparison OS: a kernel policy plus path lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct OsModel {
+    /// Display name (Table 3 column).
+    pub name: &'static str,
+    /// Kernel policy.
+    pub kcfg: KernelConfig,
+    /// Path lengths.
+    pub paths: PathLengths,
+}
+
+impl OsModel {
+    /// The optimized Linux/PPC of the paper.
+    pub fn linux_ppc() -> Self {
+        Self {
+            name: "Linux/PPC",
+            kcfg: KernelConfig::optimized(),
+            paths: PathLengths::tuned(),
+        }
+    }
+
+    /// The same kernel before the optimization campaign.
+    pub fn linux_ppc_unoptimized() -> Self {
+        Self {
+            name: "Unoptimized Linux/PPC",
+            kcfg: KernelConfig::unoptimized(),
+            paths: PathLengths::original(),
+        }
+    }
+
+    /// Apple Rhapsody 5.0 (Mach-based).
+    pub fn rhapsody() -> Self {
+        Self {
+            name: "Rhapsody 5.0",
+            kcfg: Self::mach_kcfg(),
+            paths: PathLengths {
+                syscall: 800,
+                sched: 7000,
+                fault_asm: 40,
+                fault_c: 900,
+                pipe_op: 5000,
+                file_per_page: 1800,
+                mm_op: 1500,
+                mm_per_page: 60,
+                flush_per_page: 180,
+                spawn: 12000,
+                ipc_hops: 2,
+                pipe_copies: 3,
+                pipe_chunk_insns: 30_000,
+                signal: 2500,
+            },
+        }
+    }
+
+    /// Apple MkLinux (Linux server on Mach).
+    pub fn mklinux() -> Self {
+        Self {
+            name: "MkLinux",
+            kcfg: Self::mach_kcfg(),
+            paths: PathLengths {
+                syscall: 1000,
+                sched: 7000,
+                fault_asm: 40,
+                fault_c: 900,
+                pipe_op: 9000,
+                file_per_page: 1600,
+                mm_op: 1500,
+                mm_per_page: 60,
+                flush_per_page: 180,
+                spawn: 12000,
+                ipc_hops: 3,
+                pipe_copies: 2,
+                pipe_chunk_insns: 4000,
+                signal: 3000,
+            },
+        }
+    }
+
+    /// IBM AIX (monolithic, untuned MMU management).
+    pub fn aix() -> Self {
+        Self {
+            name: "AIX",
+            kcfg: KernelConfig {
+                use_bats: true,
+                handler: HandlerStyle::SlowC,
+                lazy_flush: false,
+                vsid_policy: VsidPolicy::PidScatter { constant: 897 },
+                flush_cutoff_pages: None,
+                idle_reclaim: false,
+                page_clearing: PageClearing::OnDemand,
+                ..KernelConfig::unoptimized()
+            },
+            paths: PathLengths {
+                syscall: 1400,
+                sched: 2800,
+                fault_asm: 40,
+                fault_c: 650,
+                pipe_op: 3200,
+                file_per_page: 1200,
+                mm_op: 800,
+                mm_per_page: 40,
+                flush_per_page: 120,
+                spawn: 8000,
+                ipc_hops: 0,
+                pipe_copies: 2,
+                pipe_chunk_insns: 6000,
+                signal: 1600,
+            },
+        }
+    }
+
+    /// Shared policy for the Mach-based systems: none of the paper's tricks.
+    fn mach_kcfg() -> KernelConfig {
+        KernelConfig {
+            // Mach did map the kernel with BATs.
+            use_bats: true,
+            ..KernelConfig::unoptimized()
+        }
+    }
+
+    /// All five Table 3 systems, in the table's column order.
+    pub fn table3() -> Vec<OsModel> {
+        vec![
+            Self::linux_ppc(),
+            Self::linux_ppc_unoptimized(),
+            Self::rhapsody(),
+            Self::mklinux(),
+            Self::aix(),
+        ]
+    }
+
+    /// Boots this OS on `machine`.
+    pub fn boot(&self, machine: MachineConfig) -> Kernel {
+        Kernel::boot_with_paths(machine, self.kcfg, self.paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_five_systems() {
+        let models = OsModel::table3();
+        assert_eq!(models.len(), 5);
+        assert_eq!(models[0].name, "Linux/PPC");
+    }
+
+    #[test]
+    fn microkernels_pay_ipc_hops_and_double_copies() {
+        assert!(OsModel::mklinux().paths.ipc_hops >= 2);
+        assert_eq!(OsModel::mklinux().paths.pipe_copies, 2);
+        assert_eq!(OsModel::linux_ppc().paths.ipc_hops, 0);
+    }
+
+    #[test]
+    fn models_boot() {
+        for m in OsModel::table3() {
+            let k = m.boot(MachineConfig::ppc604_133());
+            assert_eq!(k.machine.cfg.clock_mhz, 133);
+        }
+    }
+}

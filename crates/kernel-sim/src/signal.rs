@@ -1,0 +1,120 @@
+//! Signal delivery — `lat_sig`'s substrate.
+//!
+//! The LmBench suite the paper ran includes `lat_sig` (signal install and
+//! catch latency). Delivery is a miniature context switch: the kernel builds
+//! a signal frame on the user stack, redirects control to the handler, and
+//! the handler returns through a `sigreturn` syscall that restores the
+//! interrupted state — all of it through the same exception-entry and
+//! memory-system machinery the rest of the kernel uses.
+
+use ppc_mmu::addr::EffectiveAddress;
+
+use crate::kernel::Kernel;
+use crate::layout::KernelPath;
+use crate::sched::STACK_BASE;
+
+/// Words in a signal frame (saved context + siginfo).
+const SIGFRAME_WORDS: u32 = 40;
+
+impl Kernel {
+    /// `signal()` / `sigaction()`: installs a handler (bookkeeping only).
+    pub fn sys_signal_install(&mut self) {
+        self.syscall_entry();
+        let ts = self.cur().task_struct_pa();
+        self.kdata_ref(ts + 0x100, true);
+        self.syscall_exit();
+    }
+
+    /// One `kill(getpid(), SIG)` + catch + `sigreturn` round trip — the
+    /// operation `lat_sig catch` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is current.
+    pub fn signal_roundtrip(&mut self, handler_ea: u32) {
+        // kill(): queue the signal against the task.
+        self.syscall_entry();
+        let insns = self.paths.signal / 2;
+        self.run_kernel_path(KernelPath::SyscallEntry, insns);
+        let ts = self.cur().task_struct_pa();
+        self.kdata_ref(ts + 0x104, true);
+        self.syscall_exit();
+        // Delivery on the return to user space: build the signal frame on
+        // the user stack...
+        let insns = self.paths.signal / 2;
+        self.run_kernel_path(KernelPath::SyscallEntry, insns);
+        let frame_base = STACK_BASE + 8 * 4096 - SIGFRAME_WORDS * 4;
+        for w in 0..SIGFRAME_WORDS {
+            self.data_ref(EffectiveAddress(frame_base + w * 4), true);
+        }
+        // ...run the user handler...
+        self.exec_code(EffectiveAddress(handler_ea), 24);
+        self.data_ref(EffectiveAddress(frame_base), false);
+        // ...and sigreturn restores the interrupted context.
+        self.syscall_entry();
+        for w in 0..SIGFRAME_WORDS {
+            self.data_ref(EffectiveAddress(frame_base + w * 4), false);
+        }
+        self.syscall_exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kconfig::KernelConfig;
+    use crate::sched::USER_BASE;
+    use ppc_machine::MachineConfig;
+
+    fn kernel_with_proc() -> Kernel {
+        let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+        let pid = k.spawn_process(8).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 4);
+        k
+    }
+
+    #[test]
+    fn roundtrip_costs_three_kernel_crossings() {
+        let mut k = kernel_with_proc();
+        k.sys_signal_install();
+        let syscalls = k.stats.syscalls;
+        k.signal_roundtrip(USER_BASE);
+        // kill + sigreturn are syscalls; delivery itself is a kernel exit.
+        assert_eq!(k.stats.syscalls, syscalls + 2);
+    }
+
+    #[test]
+    fn roundtrip_is_dearer_than_null_syscall() {
+        let mut k = kernel_with_proc();
+        k.sys_signal_install();
+        k.signal_roundtrip(USER_BASE); // warm
+        let c0 = k.machine.cycles;
+        k.signal_roundtrip(USER_BASE);
+        let sig = k.machine.cycles - c0;
+        let c0 = k.machine.cycles;
+        k.sys_null();
+        let null = k.machine.cycles - c0;
+        assert!(
+            sig > 2 * null,
+            "signal ({sig}) must cost several syscalls ({null})"
+        );
+    }
+
+    #[test]
+    fn slow_kernel_signals_are_slower() {
+        let run = |kcfg: KernelConfig| {
+            let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
+            let pid = k.spawn_process(8).unwrap();
+            k.switch_to(pid);
+            k.prefault(USER_BASE, 4);
+            k.signal_roundtrip(USER_BASE);
+            let c0 = k.machine.cycles;
+            for _ in 0..10 {
+                k.signal_roundtrip(USER_BASE);
+            }
+            k.machine.cycles - c0
+        };
+        assert!(run(KernelConfig::unoptimized()) > 2 * run(KernelConfig::optimized()));
+    }
+}

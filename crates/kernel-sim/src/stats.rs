@@ -1,0 +1,129 @@
+//! Kernel-level event counters.
+
+/// Counters the kernel maintains about its own MMU activity (the software
+/// side of the paper's §4 measurement infrastructure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// TLB reloads performed (software handler or hardware walk completion).
+    pub tlb_reloads: u64,
+    /// Reloads satisfied by the hash table.
+    pub htab_hits: u64,
+    /// Reloads that missed the hash table and walked the Linux page tables.
+    pub htab_misses: u64,
+    /// Reloads of kernel-space translations (the OS TLB footprint, §5.1).
+    pub kernel_reloads: u64,
+    /// Real page faults (demand-zero or file-backed population).
+    pub page_faults: u64,
+    /// Protection faults that broke copy-on-write sharing.
+    pub cow_faults: u64,
+    /// Hash-table inserts that displaced a *live* entry (a real eviction).
+    pub evict_live: u64,
+    /// Hash-table inserts that displaced a *zombie* entry.
+    pub evict_zombie: u64,
+    /// Context switches.
+    pub ctx_switches: u64,
+    /// Syscalls serviced.
+    pub syscalls: u64,
+    /// Pages flushed one at a time (hash-table search + `tlbie` each).
+    pub flushed_pages: u64,
+    /// Whole-context (VSID-bump) lazy flushes.
+    pub context_bumps: u64,
+    /// Cycles donated to the idle task.
+    pub idle_cycles: u64,
+    /// Pages cleared by the idle task.
+    pub idle_pages_cleared: u64,
+    /// PTEG groups scanned by the idle reclaim.
+    pub idle_groups_scanned: u64,
+    /// Processes created.
+    pub processes_spawned: u64,
+    /// Segfaults (accesses outside any VMA).
+    pub segfaults: u64,
+}
+
+impl KernelStats {
+    /// Hash-table hit rate on TLB misses that consulted it, in `[0, 1]`.
+    pub fn htab_hit_rate(&self) -> f64 {
+        let total = self.htab_hits + self.htab_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.htab_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of hash-table inserts that displaced a live entry — the
+    /// paper's §7 evict ratio (">90%" before idle reclaim, "30%" after).
+    pub fn evict_ratio(&self, total_inserts: u64) -> f64 {
+        if total_inserts == 0 {
+            0.0
+        } else {
+            self.evict_live as f64 / total_inserts as f64
+        }
+    }
+
+    /// Difference `self - earlier` for a measurement window.
+    pub fn delta(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            tlb_reloads: self.tlb_reloads - earlier.tlb_reloads,
+            htab_hits: self.htab_hits - earlier.htab_hits,
+            htab_misses: self.htab_misses - earlier.htab_misses,
+            kernel_reloads: self.kernel_reloads - earlier.kernel_reloads,
+            page_faults: self.page_faults - earlier.page_faults,
+            cow_faults: self.cow_faults - earlier.cow_faults,
+            evict_live: self.evict_live - earlier.evict_live,
+            evict_zombie: self.evict_zombie - earlier.evict_zombie,
+            ctx_switches: self.ctx_switches - earlier.ctx_switches,
+            syscalls: self.syscalls - earlier.syscalls,
+            flushed_pages: self.flushed_pages - earlier.flushed_pages,
+            context_bumps: self.context_bumps - earlier.context_bumps,
+            idle_cycles: self.idle_cycles - earlier.idle_cycles,
+            idle_pages_cleared: self.idle_pages_cleared - earlier.idle_pages_cleared,
+            idle_groups_scanned: self.idle_groups_scanned - earlier.idle_groups_scanned,
+            processes_spawned: self.processes_spawned - earlier.processes_spawned,
+            segfaults: self.segfaults - earlier.segfaults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let s = KernelStats {
+            htab_hits: 9,
+            htab_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.htab_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(KernelStats::default().htab_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn evict_ratio() {
+        let s = KernelStats {
+            evict_live: 3,
+            ..Default::default()
+        };
+        assert!((s.evict_ratio(10) - 0.3).abs() < 1e-12);
+        assert_eq!(s.evict_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = KernelStats {
+            syscalls: 5,
+            tlb_reloads: 7,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            syscalls: 9,
+            tlb_reloads: 20,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.syscalls, 4);
+        assert_eq!(d.tlb_reloads, 13);
+    }
+}

@@ -1,0 +1,229 @@
+//! Tasks (processes) and their address spaces.
+
+use ppc_mmu::addr::{EffectiveAddress, PhysAddr, Vsid, PAGE_SIZE};
+
+use crate::layout::{KERNEL_DATA_PA, USER_SEGMENTS};
+use crate::linuxpt::LinuxPageTables;
+
+/// A process identifier.
+pub type Pid = u32;
+
+/// Scheduler state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting (on a pipe, or I/O).
+    Blocked,
+    /// Exited; slot reusable.
+    Dead,
+}
+
+/// The kind of memory a VMA maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaKind {
+    /// Anonymous, demand-zero memory.
+    Anon,
+    /// A file mapping (pages come from the page cache).
+    File {
+        /// Index of the backing file in the kernel's file table.
+        file: usize,
+        /// Byte offset of the mapping within the file.
+        offset: u32,
+    },
+}
+
+/// A virtual memory area: one contiguous mapping in a task's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First effective address (page-aligned).
+    pub start: u32,
+    /// One past the last byte (page-aligned).
+    pub end: u32,
+    /// What backs the mapping.
+    pub kind: VmaKind,
+}
+
+impl Vma {
+    /// Whether the VMA covers `ea`.
+    pub fn contains(&self, ea: EffectiveAddress) -> bool {
+        (self.start..self.end).contains(&ea.0)
+    }
+
+    /// Number of pages spanned.
+    pub fn pages(&self) -> u32 {
+        (self.end - self.start) / PAGE_SIZE
+    }
+}
+
+/// One simulated process.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Process id.
+    pub pid: Pid,
+    /// Scheduler state.
+    pub state: TaskState,
+    /// The VSIDs for the twelve user segments (reloaded into the segment
+    /// registers on context switch; replaced wholesale by a lazy flush).
+    pub vsids: [Vsid; USER_SEGMENTS],
+    /// The task's page tables.
+    pub pt: LinuxPageTables,
+    /// The task's memory areas.
+    pub vmas: Vec<Vma>,
+    /// Frames owned by this task (to free on exit): `(ea, pa)` pairs.
+    pub frames: Vec<(u32, PhysAddr)>,
+    /// Accumulated user-mode cycles (for reporting).
+    pub user_cycles: u64,
+}
+
+impl Task {
+    /// Creates a fresh task.
+    pub fn new(pid: Pid, vsids: [Vsid; USER_SEGMENTS], pt: LinuxPageTables) -> Self {
+        Self {
+            pid,
+            state: TaskState::Runnable,
+            vsids,
+            pt,
+            vmas: Vec::new(),
+            frames: Vec::new(),
+            user_cycles: 0,
+        }
+    }
+
+    /// Physical address of this task's task-struct in kernel data (for
+    /// context-switch memory traffic).
+    pub fn task_struct_pa(&self) -> PhysAddr {
+        KERNEL_DATA_PA + (self.pid % 512) * 0x400
+    }
+
+    /// Finds the VMA covering `ea`.
+    pub fn find_vma(&self, ea: EffectiveAddress) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(ea))
+    }
+
+    /// Inserts a VMA, keeping the list sorted by start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new VMA overlaps an existing one.
+    pub fn insert_vma(&mut self, vma: Vma) {
+        assert!(
+            !self
+                .vmas
+                .iter()
+                .any(|v| vma.start < v.end && v.start < vma.end),
+            "overlapping VMA [{:#x},{:#x})",
+            vma.start,
+            vma.end
+        );
+        let pos = self.vmas.partition_point(|v| v.start < vma.start);
+        self.vmas.insert(pos, vma);
+    }
+
+    /// Removes VMAs fully inside `[start, end)`, returning them.
+    pub fn remove_vmas_in(&mut self, start: u32, end: u32) -> Vec<Vma> {
+        let (inside, outside): (Vec<Vma>, Vec<Vma>) = self
+            .vmas
+            .drain(..)
+            .partition(|v| v.start >= start && v.end <= end);
+        self.vmas = outside;
+        inside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::new(
+            1,
+            [Vsid::new(0); USER_SEGMENTS],
+            LinuxPageTables::new(0x22_0000),
+        )
+    }
+
+    #[test]
+    fn vma_contains_and_pages() {
+        let v = Vma {
+            start: 0x1000,
+            end: 0x4000,
+            kind: VmaKind::Anon,
+        };
+        assert!(v.contains(EffectiveAddress(0x1000)));
+        assert!(v.contains(EffectiveAddress(0x3fff)));
+        assert!(!v.contains(EffectiveAddress(0x4000)));
+        assert_eq!(v.pages(), 3);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_find_works() {
+        let mut t = task();
+        t.insert_vma(Vma {
+            start: 0x8000,
+            end: 0x9000,
+            kind: VmaKind::Anon,
+        });
+        t.insert_vma(Vma {
+            start: 0x1000,
+            end: 0x2000,
+            kind: VmaKind::Anon,
+        });
+        t.insert_vma(Vma {
+            start: 0x4000,
+            end: 0x6000,
+            kind: VmaKind::Anon,
+        });
+        let starts: Vec<u32> = t.vmas.iter().map(|v| v.start).collect();
+        assert_eq!(starts, vec![0x1000, 0x4000, 0x8000]);
+        assert_eq!(t.find_vma(EffectiveAddress(0x5000)).unwrap().start, 0x4000);
+        assert!(t.find_vma(EffectiveAddress(0x3000)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping VMA")]
+    fn overlap_rejected() {
+        let mut t = task();
+        t.insert_vma(Vma {
+            start: 0x1000,
+            end: 0x3000,
+            kind: VmaKind::Anon,
+        });
+        t.insert_vma(Vma {
+            start: 0x2000,
+            end: 0x4000,
+            kind: VmaKind::Anon,
+        });
+    }
+
+    #[test]
+    fn remove_vmas_in_range() {
+        let mut t = task();
+        t.insert_vma(Vma {
+            start: 0x1000,
+            end: 0x2000,
+            kind: VmaKind::Anon,
+        });
+        t.insert_vma(Vma {
+            start: 0x4000,
+            end: 0x6000,
+            kind: VmaKind::Anon,
+        });
+        t.insert_vma(Vma {
+            start: 0x8000,
+            end: 0x9000,
+            kind: VmaKind::Anon,
+        });
+        let removed = t.remove_vmas_in(0x3000, 0x7000);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].start, 0x4000);
+        assert_eq!(t.vmas.len(), 2);
+    }
+
+    #[test]
+    fn task_struct_addresses_differ_per_pid() {
+        let a = Task::new(1, [Vsid::new(0); USER_SEGMENTS], LinuxPageTables::new(0));
+        let b = Task::new(2, [Vsid::new(0); USER_SEGMENTS], LinuxPageTables::new(0));
+        assert_ne!(a.task_struct_pa(), b.task_struct_pa());
+    }
+}

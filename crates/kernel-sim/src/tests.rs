@@ -1,0 +1,387 @@
+//! Cross-module behaviour tests: each asserts a *direction* the paper
+//! reports, on the real kernel engine.
+
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::{EffectiveAddress, PAGE_SIZE};
+
+use crate::kconfig::{KernelConfig, PageClearing, VsidPolicy};
+use crate::kernel::Kernel;
+use crate::sched::USER_BASE;
+
+fn boot(mcfg: MachineConfig, kcfg: KernelConfig) -> Kernel {
+    let mut k = Kernel::boot(mcfg, kcfg);
+    let pid = k.spawn_process(64).unwrap();
+    k.switch_to(pid);
+    k
+}
+
+#[test]
+fn touching_memory_faults_then_hits() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    k.user_write(USER_BASE, PAGE_SIZE);
+    assert_eq!(k.stats.page_faults, 1);
+    let faults = k.stats.page_faults;
+    let reloads = k.stats.tlb_reloads;
+    // Re-touching the same page is TLB-hot: no new faults or reloads.
+    k.user_write(USER_BASE, PAGE_SIZE);
+    assert_eq!(k.stats.page_faults, faults);
+    assert_eq!(k.stats.tlb_reloads, reloads);
+}
+
+#[test]
+fn bats_eliminate_kernel_reloads() {
+    let run = |use_bats: bool| {
+        let kcfg = KernelConfig {
+            use_bats,
+            ..KernelConfig::optimized()
+        };
+        let mut k = boot(MachineConfig::ppc604_185(), kcfg);
+        for _ in 0..50 {
+            k.sys_null();
+        }
+        k.stats.kernel_reloads
+    };
+    assert_eq!(run(true), 0, "BAT-mapped kernel takes no TLB reloads");
+    assert!(
+        run(false) > 0,
+        "PTE-mapped kernel must reload kernel translations"
+    );
+}
+
+#[test]
+fn kernel_footprint_occupies_tlb_without_bats() {
+    let kcfg = KernelConfig {
+        use_bats: false,
+        ..KernelConfig::optimized()
+    };
+    let mut k = boot(MachineConfig::ppc604_185(), kcfg);
+    for _ in 0..50 {
+        k.sys_null();
+    }
+    let kernel_entries = k
+        .machine
+        .mmu
+        .tlb_entries_matching(crate::vsid::is_kernel_vsid);
+    assert!(kernel_entries > 0, "kernel PTEs should sit in the TLB");
+}
+
+#[test]
+fn bats_keep_kernel_out_of_tlb() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    for _ in 0..50 {
+        k.sys_null();
+    }
+    assert_eq!(
+        k.machine
+            .mmu
+            .tlb_entries_matching(crate::vsid::is_kernel_vsid),
+        0
+    );
+    assert!(k.machine.mmu.bats.dbat_hits > 0);
+}
+
+#[test]
+fn hardware_604_uses_htab_on_reload() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    k.prefault(USER_BASE, 8);
+    // Blow the TLB, keep the htab: reloads must be htab hits.
+    k.machine.mmu.flush_tlbs();
+    let before = k.stats.htab_hits;
+    k.user_read(USER_BASE, 8 * PAGE_SIZE);
+    assert!(
+        k.stats.htab_hits > before,
+        "604 reloads from the hash table"
+    );
+}
+
+#[test]
+fn no_htab_603_reloads_from_linux_pt() {
+    let kcfg = KernelConfig {
+        htab_on_603: false,
+        ..KernelConfig::optimized()
+    };
+    let mut k = boot(MachineConfig::ppc603_180(), kcfg);
+    k.prefault(USER_BASE, 8);
+    assert_eq!(
+        k.htab.valid_entries(),
+        0,
+        "§6.2: no user PTEs in the hash table"
+    );
+    k.machine.mmu.flush_tlbs();
+    let (h0, m0) = (k.stats.htab_hits, k.stats.htab_misses);
+    k.user_read(USER_BASE, 8 * PAGE_SIZE);
+    assert_eq!(k.stats.htab_hits, h0);
+    assert_eq!(
+        k.stats.htab_misses, m0,
+        "direct path never consults the htab"
+    );
+}
+
+#[test]
+fn lazy_flush_bumps_context_instead_of_searching() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
+    k.prefault(addr, 64);
+    let old_vsids = k.cur().vsids;
+    let bumps = k.stats.context_bumps;
+    let flushed = k.stats.flushed_pages;
+    k.sys_munmap(addr, 64 * PAGE_SIZE);
+    assert_eq!(
+        k.stats.context_bumps,
+        bumps + 1,
+        "64 pages > 20-page cutoff"
+    );
+    assert_eq!(k.stats.flushed_pages, flushed, "no per-page searches");
+    assert_ne!(k.cur().vsids, old_vsids);
+    assert!(!k.vsids.is_live(old_vsids[0]), "old VSIDs are zombies now");
+}
+
+#[test]
+fn small_ranges_flush_per_page_even_when_lazy() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let addr = k.sys_mmap(None, 8 * PAGE_SIZE);
+    k.prefault(addr, 8);
+    let bumps = k.stats.context_bumps;
+    k.sys_munmap(addr, 8 * PAGE_SIZE);
+    assert_eq!(
+        k.stats.context_bumps, bumps,
+        "8 pages < cutoff: per-page path"
+    );
+    assert_eq!(k.stats.flushed_pages, 8);
+}
+
+#[test]
+fn lazy_munmap_is_much_cheaper_for_large_ranges() {
+    let run = |kcfg: KernelConfig| {
+        let mut k = boot(MachineConfig::ppc604_133(), kcfg);
+        let addr = k.sys_mmap(None, 256 * PAGE_SIZE);
+        k.prefault(addr, 256);
+        let start = k.machine.cycles;
+        k.sys_munmap(addr, 256 * PAGE_SIZE);
+        k.machine.cycles - start
+    };
+    let eager = run(KernelConfig::unoptimized());
+    let lazy = run(KernelConfig::optimized());
+    // Both kernels pay the per-page PTE teardown and frame frees for a
+    // fully-populated region; the eager one additionally searches the hash
+    // table and `tlbie`s per page. (The paper's 80x is for large *sparse*
+    // mappings — lat_mmap — covered by the Table 2 test.)
+    assert!(
+        eager > 3 * lazy,
+        "256-page munmap: eager {eager} cycles should dwarf lazy {lazy}"
+    );
+}
+
+#[test]
+fn zombies_accumulate_without_reclaim_and_vanish_with_it() {
+    let kcfg = KernelConfig {
+        idle_reclaim: false,
+        ..KernelConfig::optimized()
+    };
+    let mut k = boot(MachineConfig::ppc604_185(), kcfg);
+    // Create zombies: map, touch, munmap (context bump) repeatedly.
+    for _ in 0..4 {
+        let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
+        k.prefault(addr, 64);
+        k.sys_munmap(addr, 64 * PAGE_SIZE);
+    }
+    let valid = k.htab.valid_entries();
+    let live = k.htab.live_entries(|v| k.vsids.is_live(v));
+    assert!(valid > live, "zombies linger: {valid} valid vs {live} live");
+    // Now run the idle task with reclaim enabled.
+    k.cfg.idle_reclaim = true;
+    k.run_idle(3_000_000);
+    let valid_after = k.htab.valid_entries();
+    let live_after = k.htab.live_entries(|v| k.vsids.is_live(v));
+    assert_eq!(valid_after, live_after, "reclaim clears every zombie");
+    assert!(k.htab.stats().zombies_reclaimed > 0);
+}
+
+#[test]
+fn idle_reclaim_reduces_evictions() {
+    // §7: without reclaim, zombies fill the table and "the ratio of hash
+    // table reloads to evicts was normally greater than 90%"; with the idle
+    // reclaim it fell to ~30%. Use a small table to reach saturation fast.
+    let run = |idle_reclaim: bool| {
+        let kcfg = KernelConfig {
+            idle_reclaim,
+            ..KernelConfig::optimized()
+        };
+        let mut k = Kernel::boot_with_htab_groups(MachineConfig::ppc604_133(), kcfg, 64);
+        let pids: Vec<_> = (0..4).map(|_| k.spawn_process(64).unwrap()).collect();
+        for _ in 0..8 {
+            for &pid in &pids {
+                k.switch_to(pid);
+                let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
+                k.prefault(addr, 64);
+                k.sys_munmap(addr, 64 * PAGE_SIZE); // context bump -> zombies
+                k.user_read(USER_BASE, 64 * PAGE_SIZE);
+                k.run_idle(150_000);
+            }
+        }
+        k.htab.stats().evict_ratio()
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with < without,
+        "evict ratio should drop with idle reclaim: {with:.2} vs {without:.2}"
+    );
+    assert!(
+        without > 0.3,
+        "saturated table must evict often (got {without:.2})"
+    );
+}
+
+#[test]
+fn precleared_pages_accelerate_demand_faults() {
+    // Fault in pages touching one word each (the common case: a process
+    // rarely writes every byte of a fresh page immediately). The demand
+    // clear pays a full-page store loop per fault; the pre-cleared path
+    // pays only the list check.
+    let fault_cost = |clearing: PageClearing| {
+        let kcfg = KernelConfig {
+            page_clearing: clearing,
+            ..KernelConfig::optimized()
+        };
+        let mut k = boot(MachineConfig::ppc604_133(), kcfg);
+        k.run_idle(2_000_000);
+        let start = k.machine.cycles;
+        k.prefault(USER_BASE, 32);
+        k.machine.cycles - start
+    };
+    let demand = fault_cost(PageClearing::OnDemand);
+    let prec = fault_cost(PageClearing::IdleUncached);
+    assert!(
+        prec < demand,
+        "pre-cleared faulting ({prec}) must beat demand clearing ({demand})"
+    );
+    assert!(demand > 0 && prec > 0);
+}
+
+#[test]
+fn cached_idle_clearing_pollutes_the_cache() {
+    // Build a warm working set, run the idle task, then measure re-touch
+    // cost. Cached clearing wipes the D-cache; uncached does not (§9).
+    let retouch = |clearing: PageClearing| {
+        let kcfg = KernelConfig {
+            page_clearing: clearing,
+            ..KernelConfig::optimized()
+        };
+        let mut k = boot(MachineConfig::ppc604_133(), kcfg);
+        k.prefault(USER_BASE, 4);
+        k.user_read(USER_BASE, 4 * PAGE_SIZE); // warm 16 KiB = whole D-cache
+        k.run_idle(500_000);
+        let start = k.machine.cycles;
+        k.user_read(USER_BASE, 4 * PAGE_SIZE);
+        k.machine.cycles - start
+    };
+    let cached = retouch(PageClearing::IdleCached);
+    let uncached = retouch(PageClearing::IdleUncached);
+    assert!(
+        cached > uncached,
+        "re-touch after cached idle clearing ({cached}) must exceed uncached ({uncached})"
+    );
+}
+
+#[test]
+fn pipes_transfer_and_block() {
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let a = k.spawn_process(4).unwrap();
+    let b = k.spawn_process(4).unwrap();
+    let p = k.pipe_create();
+    // Writer fills beyond capacity; must block and hand off to the reader.
+    k.switch_to(a);
+    k.prefault(USER_BASE, 4);
+    // Reader side will run when writer blocks; it needs its pages too, but
+    // demand faulting inside the pipe path is fine.
+    let _ = b;
+    // Simple same-task round trip first.
+    k.pipe_write(p, USER_BASE, 1024);
+    k.pipe_read(p, USER_BASE + 8192, 1024);
+    assert_eq!(k.pipes[p].len, 0);
+    assert_eq!(k.pipes[p].total_bytes, 1024);
+}
+
+#[test]
+fn file_read_copies_through_page_cache() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let f = k.create_file(64 * 1024);
+    k.prefault(USER_BASE, 16);
+    let start = k.machine.cycles;
+    k.sys_read(f, 0, USER_BASE, 64 * 1024);
+    assert!(k.machine.cycles > start);
+    assert_eq!(k.stats.syscalls, 1);
+}
+
+#[test]
+fn context_switch_reloads_segments() {
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let a = k.spawn_process(4).unwrap();
+    let b = k.spawn_process(4).unwrap();
+    k.switch_to(a);
+    let va = k.machine.mmu.segments.get(0);
+    k.switch_to(b);
+    let vb = k.machine.mmu.segments.get(0);
+    assert_ne!(va, vb, "different tasks use different VSIDs");
+    assert_eq!(k.stats.ctx_switches, 2);
+}
+
+#[test]
+fn exec_exit_cycle_reuses_resources() {
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let free0 = k.frames.free_frames();
+    for _ in 0..10 {
+        let pid = k.spawn_process(16).unwrap();
+        k.switch_to(pid);
+        k.user_write(USER_BASE, 16 * PAGE_SIZE);
+        k.exit_current();
+    }
+    // All user frames returned (pre-cleared pages may hold some).
+    assert!(
+        k.frames.free_frames() >= free0 - 1,
+        "frames must be recycled"
+    );
+    assert_eq!(k.stats.processes_spawned, 10);
+}
+
+#[test]
+fn vsid_scatter_constant_controls_htab_clustering() {
+    // §5.2: similar address spaces with poorly scattered VSIDs pile into the
+    // same PTEGs. Compare the worst-group occupancy under a power-of-two
+    // constant vs the tuned non-power-of-two constant.
+    let worst_group = |constant: u32| {
+        let kcfg = KernelConfig {
+            vsid_policy: VsidPolicy::ContextCounter { constant },
+            ..KernelConfig::optimized()
+        };
+        let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
+        for _ in 0..16 {
+            let pid = k.spawn_process(64).unwrap();
+            k.switch_to(pid);
+            k.prefault(USER_BASE, 64);
+        }
+        *k.htab.group_histogram().iter().max().unwrap()
+    };
+    let pow2 = worst_group(16);
+    let tuned = worst_group(897);
+    assert!(
+        pow2 >= tuned,
+        "power-of-two scatter (max {pow2}/PTEG) should clump at least as much as tuned (max {tuned}/PTEG)"
+    );
+}
+
+#[test]
+fn accesses_to_io_space_are_uncached() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let inhibited_before = k.machine.mem.dcache.stats().inhibited;
+    k.data_ref(EffectiveAddress(crate::layout::IO_VIRT_BASE + 0x100), true);
+    assert!(k.machine.mem.dcache.stats().inhibited > inhibited_before);
+}
+
+#[test]
+#[should_panic(expected = "segfault")]
+fn wild_access_segfaults() {
+    let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    k.data_ref(EffectiveAddress(0x6666_0000), false);
+}

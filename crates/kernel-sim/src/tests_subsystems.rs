@@ -1,0 +1,339 @@
+//! Direct unit tests for the kernel subsystems (scheduler, syscalls, pipes,
+//! files, idle duties, flush policies).
+
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::{EffectiveAddress, PAGE_SIZE};
+
+use crate::kconfig::{KernelConfig, PageClearing};
+use crate::kernel::Kernel;
+use crate::sched::USER_BASE;
+use crate::task::TaskState;
+
+fn kernel() -> Kernel {
+    Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized())
+}
+
+fn kernel_with_proc(ws: u32) -> Kernel {
+    let mut k = kernel();
+    let pid = k.spawn_process(ws).unwrap();
+    k.switch_to(pid);
+    k
+}
+
+// --- scheduler ---
+
+#[test]
+fn yield_rotates_round_robin() {
+    let mut k = kernel();
+    let a = k.spawn_process(4).unwrap();
+    let b = k.spawn_process(4).unwrap();
+    let c = k.spawn_process(4).unwrap();
+    k.switch_to(a);
+    // a yielded: b runs, then c, then a again.
+    k.yield_next();
+    assert_eq!(k.cur().pid, b);
+    k.yield_next();
+    assert_eq!(k.cur().pid, c);
+    k.yield_next();
+    assert_eq!(k.cur().pid, a);
+}
+
+#[test]
+fn block_and_wake_cycle() {
+    let mut k = kernel();
+    let a = k.spawn_process(4).unwrap();
+    let b = k.spawn_process(4).unwrap();
+    k.switch_to(a);
+    let a_idx = k.task_idx(a).unwrap();
+    k.block_current();
+    assert_eq!(k.cur().pid, b);
+    assert_eq!(k.tasks[a_idx].state, TaskState::Blocked);
+    k.wake(a_idx);
+    assert_eq!(k.tasks[a_idx].state, TaskState::Runnable);
+    k.yield_next();
+    assert_eq!(k.cur().pid, a);
+}
+
+#[test]
+fn switch_to_self_is_free() {
+    let mut k = kernel_with_proc(4);
+    let pid = k.cur().pid;
+    let switches = k.stats.ctx_switches;
+    let cycles = k.machine.cycles;
+    k.switch_to(pid);
+    assert_eq!(k.stats.ctx_switches, switches);
+    assert_eq!(k.machine.cycles, cycles);
+}
+
+#[test]
+fn exit_returns_page_table_pages() {
+    let mut k = kernel();
+    // Exhaust-and-recycle: many process generations must not run the
+    // page-table pool dry.
+    for _ in 0..120 {
+        let pid = k.spawn_process(8).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 8);
+        k.exit_current();
+    }
+    assert_eq!(k.stats.processes_spawned, 120);
+}
+
+#[test]
+fn dead_tasks_are_not_scheduled() {
+    let mut k = kernel();
+    let a = k.spawn_process(4).unwrap();
+    let b = k.spawn_process(4).unwrap();
+    k.switch_to(a);
+    k.exit_current();
+    assert_eq!(
+        k.cur().pid,
+        b,
+        "exit falls through to the next runnable task"
+    );
+    assert!(k.task_idx(a).is_none(), "dead pid no longer resolvable");
+}
+
+// --- syscalls ---
+
+#[test]
+fn null_syscall_counts_and_charges() {
+    let mut k = kernel_with_proc(4);
+    let c0 = k.machine.cycles;
+    k.sys_null();
+    assert_eq!(k.stats.syscalls, 1);
+    assert!(k.machine.cycles > c0);
+}
+
+#[test]
+fn mmap_places_nonoverlapping_regions() {
+    let mut k = kernel_with_proc(4);
+    let a = k.sys_mmap(None, 16 * PAGE_SIZE);
+    let b = k.sys_mmap(None, 16 * PAGE_SIZE);
+    assert!(b >= a + 16 * PAGE_SIZE, "regions must not overlap");
+    // Both are usable.
+    k.data_ref(EffectiveAddress(a), true);
+    k.data_ref(EffectiveAddress(b + 15 * PAGE_SIZE), true);
+}
+
+#[test]
+fn munmap_frees_anonymous_frames() {
+    let mut k = kernel_with_proc(4);
+    let free0 = k.frames.free_frames();
+    let a = k.sys_mmap(None, 32 * PAGE_SIZE);
+    k.prefault(a, 32);
+    assert!(k.frames.free_frames() <= free0 - 32);
+    k.sys_munmap(a, 32 * PAGE_SIZE);
+    assert!(
+        k.frames.free_frames() >= free0 - 2,
+        "anonymous frames must be returned on munmap"
+    );
+}
+
+#[test]
+#[should_panic(expected = "page-aligned")]
+fn mmap_rejects_unaligned_length() {
+    let mut k = kernel_with_proc(4);
+    k.sys_mmap(None, 100);
+}
+
+// --- pipes ---
+
+#[test]
+fn pipe_preserves_byte_accounting_through_wraparound() {
+    let mut k = kernel_with_proc(8);
+    k.prefault(USER_BASE, 8);
+    let p = k.pipe_create();
+    // Transfers that wrap the ring several times.
+    for len in [100u32, 4096, 5000, 1, 8000] {
+        k.pipe_write(p, USER_BASE, len.min(PAGE_SIZE));
+        k.pipe_read(p, USER_BASE, len.min(PAGE_SIZE));
+        assert_eq!(k.pipes[p].len, 0, "ring drained after symmetric read");
+    }
+}
+
+#[test]
+fn pipe_transfer_moves_everything() {
+    let mut k = kernel();
+    let w = k.spawn_process(32).unwrap();
+    let r = k.spawn_process(32).unwrap();
+    for &pid in &[w, r] {
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 16);
+    }
+    let p = k.pipe_create();
+    k.pipe_transfer(p, w, r, USER_BASE, USER_BASE, 64 * 1024);
+    assert_eq!(k.pipes[p].total_bytes, 64 * 1024);
+    assert!(k.stats.ctx_switches > 16, "one switch per ring fill/drain");
+}
+
+#[test]
+fn microkernel_double_copy_costs_more() {
+    let mut paths = crate::kernel::PathLengths::tuned();
+    let run = |paths: crate::kernel::PathLengths| {
+        let mut k = Kernel::boot_with_paths(
+            MachineConfig::ppc604_185(),
+            KernelConfig::optimized(),
+            paths,
+        );
+        let pid = k.spawn_process(8).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 4);
+        let p = k.pipe_create();
+        let c0 = k.machine.cycles;
+        k.pipe_write(p, USER_BASE, PAGE_SIZE);
+        k.machine.cycles - c0
+    };
+    let single = run(paths);
+    paths.pipe_copies = 2;
+    let double = run(paths);
+    assert!(
+        double > single,
+        "double copy ({double}) must cost more ({single})"
+    );
+}
+
+// --- files ---
+
+#[test]
+fn file_pages_are_stable_across_reads() {
+    let mut k = kernel_with_proc(32);
+    k.prefault(USER_BASE, 16);
+    let f = k.create_file(128 * 1024);
+    let pages: Vec<_> = k.files[f].pages.clone();
+    k.sys_read(f, 0, USER_BASE, 64 * 1024);
+    k.sys_read(f, 64 * 1024, USER_BASE, 64 * 1024);
+    assert_eq!(
+        k.files[f].pages, pages,
+        "page cache must not churn on reads"
+    );
+}
+
+#[test]
+fn file_mmap_shares_page_cache_frames() {
+    let mut k = kernel_with_proc(8);
+    let f = k.create_file(16 * PAGE_SIZE);
+    let addr = k.sys_mmap(Some(f), 16 * PAGE_SIZE);
+    k.prefault(addr, 16);
+    // No anonymous frames were consumed for the file pages.
+    let (pa, _) = k.translate_ref(
+        EffectiveAddress(addr),
+        ppc_mmu::translate::AccessType::DataRead,
+    );
+    assert_eq!(
+        pa & !0xfff,
+        k.files[f].pages[0],
+        "mapping points at the cache page"
+    );
+}
+
+#[test]
+#[should_panic(expected = "read past EOF")]
+fn file_read_past_eof_is_a_bug_trap() {
+    let mut k = kernel_with_proc(8);
+    k.prefault(USER_BASE, 4);
+    let f = k.create_file(PAGE_SIZE);
+    k.sys_read(f, 0, USER_BASE, 3 * PAGE_SIZE);
+}
+
+// --- idle duties ---
+
+#[test]
+fn idle_consumes_at_least_the_budget() {
+    let mut k = kernel_with_proc(4);
+    let c0 = k.machine.cycles;
+    k.run_idle(50_000);
+    let spent = k.machine.cycles - c0;
+    assert!(spent >= 50_000);
+    assert!(spent < 70_000, "bounded overshoot (got {spent})");
+    assert_eq!(k.stats.idle_cycles, spent);
+}
+
+#[test]
+fn idle_clearing_stops_when_nothing_to_clear() {
+    let kcfg = KernelConfig {
+        page_clearing: PageClearing::IdleUncached,
+        ..KernelConfig::optimized()
+    };
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), kcfg);
+    let pid = k.spawn_process(4).unwrap();
+    k.switch_to(pid);
+    // Clear the entire free pool.
+    while k.frames.free_frames() > k.frames.precleared_frames() {
+        k.run_idle(200_000);
+    }
+    let cleared = k.stats.idle_pages_cleared;
+    k.run_idle(100_000);
+    assert_eq!(
+        k.stats.idle_pages_cleared, cleared,
+        "no frames left to clear"
+    );
+}
+
+#[test]
+fn reclaim_scan_sleeps_without_retirements() {
+    let mut k = kernel_with_proc(16);
+    k.prefault(USER_BASE, 16);
+    k.run_idle(200_000);
+    let scanned0 = k.stats.idle_groups_scanned;
+    assert_eq!(scanned0, 0, "no context retired yet: nothing to scan");
+    // Retire a context; the scan gets exactly one sweep of credit.
+    let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
+    k.sys_munmap(addr, 64 * PAGE_SIZE);
+    k.run_idle(8_000_000);
+    let scanned1 = k.stats.idle_groups_scanned;
+    assert!(scanned1 > 0);
+    assert!(scanned1 <= crate::layout::HTAB_GROUPS as u64 + 8);
+    k.run_idle(2_000_000);
+    assert_eq!(k.stats.idle_groups_scanned, scanned1, "credit exhausted");
+}
+
+// --- flush policies ---
+
+#[test]
+fn flush_context_eager_scans_whole_table() {
+    let kcfg = KernelConfig::unoptimized();
+    let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
+    let pid = k.spawn_process(16).unwrap();
+    k.switch_to(pid);
+    k.prefault(USER_BASE, 16);
+    assert!(k.htab.valid_entries() >= 16);
+    let idx = k.task_idx(pid).unwrap();
+    k.flush_context(idx);
+    assert_eq!(
+        k.htab
+            .live_entries(|v| k.vsids.is_live(v) && !crate::vsid::is_kernel_vsid(v)),
+        0,
+        "eager context flush physically invalidates the task's entries"
+    );
+    assert_eq!(
+        k.machine.mmu.tlb_valid_entries(),
+        0,
+        "eager flush empties the TLBs"
+    );
+}
+
+#[test]
+fn lazy_context_flush_leaves_zombies_resident() {
+    let mut k = kernel_with_proc(16);
+    k.prefault(USER_BASE, 16);
+    let valid_before = k.htab.valid_entries();
+    let idx = k.current.unwrap();
+    k.flush_context(idx);
+    assert_eq!(
+        k.htab.valid_entries(),
+        valid_before,
+        "lazy flush touches nothing"
+    );
+    assert!(k.htab.live_entries(|v| k.vsids.is_live(v)) < valid_before);
+}
+
+#[test]
+fn user_vsid_matches_segment_registers() {
+    let k = kernel_with_proc(4);
+    let idx = k.current.unwrap();
+    for sr in 0..12 {
+        let ea = EffectiveAddress((sr as u32) << 28);
+        assert_eq!(k.user_vsid(idx, ea), k.machine.mmu.segments.get(sr));
+    }
+}

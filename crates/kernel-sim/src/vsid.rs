@@ -1,0 +1,195 @@
+//! VSID allocation and liveness tracking.
+
+use std::collections::HashSet;
+
+use ppc_mmu::addr::Vsid;
+
+use crate::kconfig::VsidPolicy;
+use crate::layout::USER_SEGMENTS;
+
+/// Base of the reserved kernel VSID range: kernel segments 0xC–0xF get
+/// `KERNEL_VSID_BASE + sr`. "We reserved segments for the dynamically mapped
+/// parts of the kernel … and put a fixed VSID in these segments" (paper §7).
+pub const KERNEL_VSID_BASE: u32 = 0xfff0_00;
+
+/// Returns the fixed VSID for kernel segment register `sr` (12–15).
+///
+/// # Panics
+///
+/// Panics if `sr` is not a kernel segment.
+pub fn kernel_vsid(sr: usize) -> Vsid {
+    assert!((12..16).contains(&sr), "kernel segments are 0xC-0xF");
+    Vsid::new(KERNEL_VSID_BASE + sr as u32)
+}
+
+/// Whether a VSID belongs to the kernel's reserved range.
+pub fn is_kernel_vsid(v: Vsid) -> bool {
+    v.raw() >= KERNEL_VSID_BASE
+}
+
+/// Statistics for the VSID allocator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VsidStats {
+    /// Contexts allocated.
+    pub contexts_allocated: u64,
+    /// Contexts retired (their VSIDs became zombies).
+    pub contexts_retired: u64,
+}
+
+/// Allocates per-address-space VSIDs and tracks which are live.
+///
+/// Liveness is the information the hardware does not have: a hash-table or
+/// TLB entry under a retired VSID is a *zombie* — still marked valid, never
+/// matchable. The idle-task reclaim (paper §7) queries [`VsidAllocator::is_live`]
+/// to physically invalidate zombies.
+#[derive(Debug, Clone)]
+pub struct VsidAllocator {
+    policy: VsidPolicy,
+    next_ctx: u32,
+    live: HashSet<u32>,
+    /// Statistics.
+    pub stats: VsidStats,
+}
+
+impl VsidAllocator {
+    /// Creates an allocator under `policy`.
+    pub fn new(policy: VsidPolicy) -> Self {
+        Self {
+            policy,
+            next_ctx: 1,
+            live: HashSet::new(),
+            stats: VsidStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> VsidPolicy {
+        self.policy
+    }
+
+    /// Allocates the VSIDs for a (new or re-keyed) address space.
+    ///
+    /// * Under [`VsidPolicy::PidScatter`], the VSIDs are a pure function of
+    ///   the PID — reallocating for the same PID returns the same VSIDs.
+    /// * Under [`VsidPolicy::ContextCounter`], every call takes a fresh
+    ///   context number, so reallocation implicitly retires nothing but
+    ///   never reuses old VSIDs (the lazy-flush invariant).
+    pub fn alloc_context(&mut self, pid: u32) -> [Vsid; USER_SEGMENTS] {
+        self.stats.contexts_allocated += 1;
+        let constant = self.policy.constant();
+        let base = match self.policy {
+            VsidPolicy::PidScatter { .. } => pid.wrapping_mul(constant),
+            VsidPolicy::ContextCounter { .. } => {
+                let c = self.next_ctx;
+                self.next_ctx += 1;
+                c.wrapping_mul(constant)
+            }
+        };
+        let mut vsids = [Vsid::new(0); USER_SEGMENTS];
+        for (sr, slot) in vsids.iter_mut().enumerate() {
+            // Keep user VSIDs out of the reserved kernel range.
+            let raw = (base.wrapping_add(sr as u32)) & Vsid::MASK;
+            let raw = if raw >= KERNEL_VSID_BASE {
+                raw - KERNEL_VSID_BASE
+            } else {
+                raw
+            };
+            *slot = Vsid::new(raw);
+            self.live.insert(raw);
+        }
+        vsids
+    }
+
+    /// Retires a context's VSIDs: they become zombies.
+    pub fn retire(&mut self, vsids: &[Vsid; USER_SEGMENTS]) {
+        self.stats.contexts_retired += 1;
+        for v in vsids {
+            self.live.remove(&v.raw());
+        }
+    }
+
+    /// Whether `v` can still match a live address space (kernel VSIDs are
+    /// always live).
+    pub fn is_live(&self, v: Vsid) -> bool {
+        is_kernel_vsid(v) || self.live.contains(&v.raw())
+    }
+
+    /// Number of live user VSIDs.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_vsids_are_fixed_and_live() {
+        let a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        for sr in 12..16 {
+            let v = kernel_vsid(sr);
+            assert!(is_kernel_vsid(v));
+            assert!(a.is_live(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel segments")]
+    fn kernel_vsid_rejects_user_segment() {
+        kernel_vsid(3);
+    }
+
+    #[test]
+    fn pid_scatter_is_deterministic() {
+        let mut a = VsidAllocator::new(VsidPolicy::PidScatter { constant: 897 });
+        let x = a.alloc_context(7);
+        let y = a.alloc_context(7);
+        assert_eq!(x, y);
+        let z = a.alloc_context(8);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn context_counter_never_reuses() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        let x = a.alloc_context(7);
+        let y = a.alloc_context(7);
+        assert_ne!(x, y, "same PID gets fresh VSIDs after a context bump");
+    }
+
+    #[test]
+    fn retire_makes_zombies() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        let v = a.alloc_context(1);
+        assert!(a.is_live(v[0]));
+        a.retire(&v);
+        assert!(!a.is_live(v[0]));
+        assert_eq!(a.stats.contexts_retired, 1);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn segments_within_context_are_distinct() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        let v = a.alloc_context(1);
+        let set: std::collections::HashSet<_> = v.iter().map(|x| x.raw()).collect();
+        assert_eq!(set.len(), USER_SEGMENTS);
+    }
+
+    #[test]
+    fn user_vsids_avoid_kernel_range() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter {
+            constant: 0xff_ffff,
+        });
+        for pid in 0..64 {
+            for v in a.alloc_context(pid) {
+                assert!(
+                    !is_kernel_vsid(v),
+                    "user vsid {:#x} in kernel range",
+                    v.raw()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the kernel simulator's core invariants.
+
+use proptest::prelude::*;
+
+use kernel_sim::kconfig::VsidPolicy;
+use kernel_sim::linuxpt::{LinuxPageTables, LinuxPte, PTE_RW};
+use kernel_sim::physmem::{FrameAllocator, PhysMem};
+use kernel_sim::sched::USER_BASE;
+use kernel_sim::vsid::VsidAllocator;
+use kernel_sim::{Kernel, KernelConfig};
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::{EffectiveAddress, PAGE_SIZE};
+
+proptest! {
+    /// Frame-allocator conservation: frames handed out are unique, frees
+    /// restore them, and the free count is exact.
+    #[test]
+    fn allocator_conserves_frames(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let mut a = FrameAllocator::new();
+        let total = a.free_frames();
+        let mut held: Vec<u32> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &alloc in &ops {
+            if alloc {
+                if let Some((pa, _)) = a.get_free_page() {
+                    prop_assert!(seen.insert(pa), "frame {pa:#x} double-allocated");
+                    held.push(pa);
+                }
+            } else if let Some(pa) = held.pop() {
+                a.free_page(pa);
+                seen.remove(&pa);
+            }
+            prop_assert_eq!(a.free_frames() + held.len(), total);
+        }
+    }
+
+    /// Page tables: map → walk returns the mapped frame; unmap removes it;
+    /// distinct addresses never interfere.
+    #[test]
+    fn page_tables_round_trip(pages in proptest::collection::btree_set(0u32..0x8_0000, 1..60)) {
+        let mut mem = PhysMem::new();
+        let pt = LinuxPageTables::new(0x22_0000);
+        let mut next_pt_page = 0x22_1000u32;
+        let pages: Vec<u32> = pages.into_iter().collect();
+        for (i, &vpn) in pages.iter().enumerate() {
+            let ea = EffectiveAddress(vpn << 12);
+            let pte = LinuxPte::present(0x300 + i as u32, PTE_RW);
+            pt.map(&mut mem, ea, pte, || {
+                let p = next_pt_page;
+                next_pt_page += 0x1000;
+                Some(p)
+            }).expect("pool big enough");
+        }
+        for (i, &vpn) in pages.iter().enumerate() {
+            let ea = EffectiveAddress(vpn << 12);
+            let w = pt.walk(&mem, ea);
+            prop_assert_eq!(w.pte.expect("mapped page present").pfn(), 0x300 + i as u32);
+        }
+        // Unmap every other page; the rest must survive.
+        for &vpn in pages.iter().step_by(2) {
+            pt.unmap(&mut mem, EffectiveAddress(vpn << 12));
+        }
+        for (i, &vpn) in pages.iter().enumerate() {
+            let present = pt.walk(&mem, EffectiveAddress(vpn << 12)).pte.is_some();
+            prop_assert_eq!(present, i % 2 == 1);
+        }
+    }
+
+    /// VSID liveness: after any alloc/retire interleaving, exactly the
+    /// non-retired contexts are live, and the context counter never hands
+    /// out the same VSIDs twice.
+    #[test]
+    fn vsid_liveness_model(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        let mut live: Vec<[ppc_mmu::addr::Vsid; 12]> = Vec::new();
+        let mut ever = std::collections::HashSet::new();
+        for (i, &alloc) in ops.iter().enumerate() {
+            if alloc || live.is_empty() {
+                let v = a.alloc_context(i as u32);
+                for x in v {
+                    prop_assert!(ever.insert(x.raw()), "VSID {:#x} reused", x.raw());
+                }
+                live.push(v);
+            } else {
+                let v = live.swap_remove(0);
+                a.retire(&v);
+                prop_assert!(!a.is_live(v[0]));
+            }
+            for set in &live {
+                for &x in set.iter() {
+                    prop_assert!(a.is_live(x));
+                }
+            }
+        }
+    }
+
+    /// End-to-end translation stability: after faulting a page in, repeated
+    /// references translate to the same physical frame, whatever mix of
+    /// reads and writes follows.
+    #[test]
+    fn translation_is_stable(offsets in proptest::collection::vec(
+        (0u32..16, 0u32..(PAGE_SIZE / 4), any::<bool>()), 1..60)) {
+        let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+        let pid = k.spawn_process(16).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 16);
+        let mut frame_of = std::collections::HashMap::new();
+        for &(page, word, write) in &offsets {
+            let ea = EffectiveAddress(USER_BASE + page * PAGE_SIZE + word * 4);
+            let (pa, cached) = k.translate_ref(ea, if write {
+                ppc_mmu::translate::AccessType::DataWrite
+            } else {
+                ppc_mmu::translate::AccessType::DataRead
+            });
+            prop_assert!(cached);
+            prop_assert_eq!(pa & 0xfff, ea.0 & 0xfff, "offset preserved");
+            let frame = pa >> 12;
+            if let Some(&prev) = frame_of.get(&page) {
+                prop_assert_eq!(prev, frame, "page {} moved frames", page);
+            }
+            frame_of.insert(page, frame);
+        }
+    }
+
+    /// Cycle monotonicity: no kernel operation ever rewinds the clock, and
+    /// every user reference costs at least one cycle.
+    #[test]
+    fn cycles_monotone(ops in proptest::collection::vec((0u32..8, any::<bool>()), 1..80)) {
+        let mut k = Kernel::boot(MachineConfig::ppc603_133(), KernelConfig::optimized());
+        let pid = k.spawn_process(8).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 8);
+        let mut last = k.machine.cycles;
+        for &(page, write) in &ops {
+            k.data_ref(EffectiveAddress(USER_BASE + page * PAGE_SIZE), write);
+            prop_assert!(k.machine.cycles > last);
+            last = k.machine.cycles;
+        }
+    }
+
+    /// The zombie-reclaim safety property on a live kernel: reclaim never
+    /// invalidates a translation the process still uses.
+    #[test]
+    fn reclaim_never_breaks_live_mappings(churns in 1u32..6) {
+        let mut k = Kernel::boot(MachineConfig::ppc604_133(), KernelConfig::optimized());
+        let pid = k.spawn_process(32).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 32);
+        for _ in 0..churns {
+            let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
+            k.prefault(addr, 8);
+            k.sys_munmap(addr, 64 * PAGE_SIZE);
+            k.run_idle(2_000_000); // full reclaim sweep
+            // The working set must still be readable (and re-faultable).
+            k.user_read(USER_BASE, 32 * PAGE_SIZE);
+        }
+        prop_assert_eq!(k.stats.segfaults, 0);
+    }
+}

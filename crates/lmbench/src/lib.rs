@@ -1,0 +1,30 @@
+//! LmBench-style workloads for the MMU Tricks (OSDI 1999) reproduction.
+//!
+//! The paper's measurements (§4) come from LmBench [McVoy '96] and from
+//! timing kernel compiles. This crate drives the simulated kernel with the
+//! same operation mixes:
+//!
+//! | benchmark | paper row | module |
+//! |---|---|---|
+//! | `lat_syscall` | "Null syscall" (Table 3) | [`lat::null_syscall`] |
+//! | `lat_ctx` | "ctxsw" (Tables 1–3, §6.1, §7) | [`lat::ctx_switch`] |
+//! | `lat_pipe` | "pipe lat." | [`lat::pipe_latency`] |
+//! | `bw_pipe` | "pipe bw" | [`bw::pipe_bandwidth`] |
+//! | `bw_file_rd` | "file reread" | [`bw::file_reread`] |
+//! | `lat_mmap` | "mmap lat." (Table 2, §7) | [`lat::mmap_latency`] |
+//! | `lat_proc` | "pstart" (Table 1) | [`lat::process_start`] |
+//! | kernel compile | §5.1, §9 wall-clock results | [`compile`] |
+//!
+//! All benchmarks run on a booted [`kernel_sim::Kernel`] and report simulated
+//! wall-clock numbers derived from the machine's cycle counter.
+
+pub mod access;
+pub mod bw;
+pub mod compile;
+pub mod lat;
+pub mod mem;
+pub mod multiuser;
+pub mod report;
+
+pub use compile::{CompileConfig, CompileResult};
+pub use report::{run_suite, LmbenchResults, SuiteConfig};

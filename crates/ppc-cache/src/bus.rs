@@ -1,0 +1,88 @@
+//! Memory-bus latency model.
+
+use crate::Cycles;
+
+/// A fixed-latency memory bus.
+///
+/// The paper (§1) notes that "for commodity PC systems, the slow main memory
+/// systems and buses intensify" cache effects, and Table 1 attributes part of
+/// the 604/200's edge to "significantly faster main memory and a better board
+/// design". The bus model captures exactly that: per-machine read/write
+/// latencies for a beat (a single word) and a burst (a full cache line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bus {
+    /// Cycles to read one word from DRAM (cache-inhibited load, PTE fetch...).
+    pub read_beat: Cycles,
+    /// Cycles to write one word to DRAM.
+    pub write_beat: Cycles,
+    /// Cycles to fill a whole cache line (burst read).
+    pub line_fill: Cycles,
+    /// Cycles to write back a whole cache line (burst write).
+    pub line_writeback: Cycles,
+}
+
+impl Bus {
+    /// A typical 1998-era 66 MHz-bus PReP/PowerMac board driven by a ~180 MHz
+    /// CPU: roughly 3:1 clock ratio, ~8-1-1-1 burst reads.
+    pub fn commodity() -> Self {
+        Self {
+            read_beat: 24,
+            write_beat: 16,
+            line_fill: 48,
+            line_writeback: 36,
+        }
+    }
+
+    /// A faster board ("significantly faster main memory and a better board
+    /// design", Table 1's 604/200 machine).
+    pub fn fast_board() -> Self {
+        Self {
+            read_beat: 18,
+            write_beat: 12,
+            line_fill: 38,
+            line_writeback: 28,
+        }
+    }
+
+    /// Scales every latency by `num/den`, used to derive per-machine boards
+    /// from the commodity baseline.
+    pub fn scaled(self, num: Cycles, den: Cycles) -> Self {
+        let f = |v: Cycles| (v * num).div_ceil(den).max(1);
+        Self {
+            read_beat: f(self.read_beat),
+            write_beat: f(self.write_beat),
+            line_fill: f(self.line_fill),
+            line_writeback: f(self.line_writeback),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_board_is_faster_everywhere() {
+        let c = Bus::commodity();
+        let f = Bus::fast_board();
+        assert!(f.read_beat < c.read_beat);
+        assert!(f.write_beat < c.write_beat);
+        assert!(f.line_fill < c.line_fill);
+        assert!(f.line_writeback < c.line_writeback);
+    }
+
+    #[test]
+    fn scaling_rounds_up_and_clamps() {
+        let b = Bus {
+            read_beat: 3,
+            write_beat: 1,
+            line_fill: 10,
+            line_writeback: 10,
+        };
+        let s = b.scaled(1, 2);
+        assert_eq!(s.read_beat, 2);
+        assert_eq!(s.write_beat, 1, "never scales below one cycle");
+        let d = b.scaled(3, 2);
+        assert_eq!(d.line_fill, 15);
+    }
+}

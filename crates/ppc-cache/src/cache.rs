@@ -1,0 +1,476 @@
+//! Set-associative, write-back tag cache with LRU replacement.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::stats::CacheStats;
+use crate::PhysAddr;
+
+/// Whether an access is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load (or instruction fetch).
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Outcome of one cacheable access, from which the memory system derives the
+/// cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// The access hit in the cache.
+    pub hit: bool,
+    /// A valid line was evicted to service a fill.
+    pub evicted: bool,
+    /// The evicted line was dirty and had to be written back.
+    pub writeback: bool,
+    /// A store went straight to memory (write-through policy).
+    pub wrote_through: bool,
+    /// Base address of the evicted line, when one was written back (lets
+    /// the memory system route the writeback into the next cache level).
+    pub victim_pa: Option<PhysAddr>,
+}
+
+impl CacheOutcome {
+    const HIT: CacheOutcome = CacheOutcome {
+        hit: true,
+        evicted: false,
+        writeback: false,
+        wrote_through: false,
+        victim_pa: None,
+    };
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    locked: bool,
+    tag: u32,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// A single set-associative cache (tags only).
+///
+/// Replacement is true LRU within a set. Lines can be *locked* (paper §10.1,
+/// "Locking the Cache"): a locked line is never chosen as a replacement
+/// victim, modelling the proposed idle-task cache lock.
+///
+/// # Examples
+///
+/// ```
+/// use ppc_cache::{AccessKind, Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::ppc603_data());
+/// assert!(!c.access(0x100, AccessKind::Read).hit);
+/// assert!(c.access(0x104, AccessKind::Read).hit); // same 32-byte line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    set_shift: u32,
+    set_mask: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.num_sets() as usize];
+        let set_shift = cfg.line_bytes.trailing_zeros();
+        let set_mask = cfg.num_sets() - 1;
+        Self {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+            set_shift,
+            set_mask,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Event counters accumulated since creation (or the last reset).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics counters without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: PhysAddr) -> (usize, u32) {
+        let set = (addr >> self.set_shift) & self.set_mask;
+        let tag = addr >> (self.set_shift + self.set_mask.count_ones());
+        (set as usize, tag)
+    }
+
+    fn find(&self, set: usize, tag: u32) -> Option<usize> {
+        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
+    }
+
+    /// Picks the replacement victim in `set`: an invalid way if one exists,
+    /// otherwise the least recently used unlocked way. Returns `None` if every
+    /// way is locked (the access then bypasses the cache).
+    fn victim(&self, set: usize) -> Option<usize> {
+        if let Some(i) = self.sets[set].iter().position(|l| !l.valid) {
+            return Some(i);
+        }
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.locked)
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+    }
+
+    /// Performs a cacheable access and returns what happened.
+    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> CacheOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.index(addr);
+        if let Some(way) = self.find(set, tag) {
+            self.stats.hits += 1;
+            let line = &mut self.sets[set][way];
+            line.lru = self.tick;
+            let mut wrote_through = false;
+            if kind == AccessKind::Write {
+                match self.cfg.write_policy {
+                    WritePolicy::WriteBack => line.dirty = true,
+                    WritePolicy::WriteThrough => wrote_through = true,
+                }
+            }
+            return CacheOutcome {
+                wrote_through,
+                ..CacheOutcome::HIT
+            };
+        }
+        self.stats.misses += 1;
+        let Some(way) = self.victim(set) else {
+            // Every way locked: treat as an uncached access.
+            self.stats.inhibited += 1;
+            return CacheOutcome {
+                hit: false,
+                evicted: false,
+                writeback: false,
+                wrote_through: kind == AccessKind::Write,
+                victim_pa: None,
+            };
+        };
+        let line = &mut self.sets[set][way];
+        let evicted = line.valid;
+        let writeback = line.valid && line.dirty;
+        let victim_pa = writeback.then(|| {
+            (line.tag << (self.set_shift + self.set_mask.count_ones()))
+                | ((set as u32) << self.set_shift)
+        });
+        if evicted {
+            self.stats.evictions += 1;
+        }
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        let mut wrote_through = false;
+        let dirty = match (kind, self.cfg.write_policy) {
+            (AccessKind::Write, WritePolicy::WriteBack) => true,
+            (AccessKind::Write, WritePolicy::WriteThrough) => {
+                wrote_through = true;
+                false
+            }
+            (AccessKind::Read, _) => false,
+        };
+        *line = Line {
+            valid: true,
+            dirty,
+            locked: false,
+            tag,
+            lru: self.tick,
+        };
+        CacheOutcome {
+            hit: false,
+            evicted,
+            writeback,
+            wrote_through,
+            victim_pa,
+        }
+    }
+
+    /// Records a cache-inhibited access: the cache state is untouched.
+    pub fn access_inhibited(&mut self) {
+        self.stats.inhibited += 1;
+    }
+
+    /// `dcbz`-style line zeroing: establishes the line in the cache, dirty,
+    /// without reading memory. Returns the outcome of the establish (a "hit"
+    /// means the line was already present).
+    pub fn zero_line(&mut self, addr: PhysAddr) -> CacheOutcome {
+        let out = self.access(addr, AccessKind::Write);
+        if !out.hit {
+            self.stats.zero_fills += 1;
+            // The miss fill for dcbz does not read memory; the caller charges
+            // no bus read for it. Account it as a zero-fill, not a demand miss.
+            self.stats.misses -= 1;
+            self.stats.hits += 1;
+        }
+        out
+    }
+
+    /// Software prefetch (`dcbt`, paper §10.2): brings the line in as a read
+    /// without counting as a demand access. Returns `true` if a fill happened.
+    pub fn prefetch(&mut self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.index(addr);
+        if self.find(set, tag).is_some() {
+            self.stats.prefetch_redundant += 1;
+            return false;
+        }
+        let before = self.stats;
+        let out = self.access(addr, AccessKind::Read);
+        // Prefetches are not demand accesses; rewind the demand counters and
+        // record the fill explicitly.
+        self.stats.accesses = before.accesses;
+        self.stats.hits = before.hits;
+        self.stats.misses = before.misses;
+        self.stats.prefetch_fills += 1;
+        !out.hit
+    }
+
+    /// Locks or unlocks the line containing `addr`, if present. Returns
+    /// whether the line was found.
+    pub fn set_locked(&mut self, addr: PhysAddr, locked: bool) -> bool {
+        let (set, tag) = self.index(addr);
+        match self.find(set, tag) {
+            Some(way) => {
+                self.sets[set][way].locked = locked;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unlocks every line.
+    pub fn unlock_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.locked = false;
+            }
+        }
+    }
+
+    /// Returns whether the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.index(addr);
+        self.find(set, tag).is_some()
+    }
+
+    /// Invalidates every line, discarding dirty data (like `hid0` flash
+    /// invalidate). Dirty lines are *not* written back.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+
+    /// Writes back and invalidates every line, returning the number of dirty
+    /// lines flushed (each costs a bus write in the memory system).
+    pub fn flush_all(&mut self) -> u64 {
+        let mut flushed = 0;
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid && line.dirty {
+                    flushed += 1;
+                    self.stats.writebacks += 1;
+                }
+                *line = Line::default();
+            }
+        }
+        flushed
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> u64 {
+        self.sets.iter().flatten().filter(|l| l.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 32B lines = 256B, easy to reason about.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 32,
+            ways: 2,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        })
+    }
+
+    /// Address that maps to `set` with tag `tag` in the `small()` cache.
+    fn addr(set: u32, tag: u32) -> PhysAddr {
+        (tag << 7) | (set << 5)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40, AccessKind::Read).hit);
+        assert!(c.access(0x40, AccessKind::Read).hit);
+        assert!(
+            c.access(0x5c, AccessKind::Read).hit,
+            "same line, different offset"
+        );
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        c.access(addr(1, 1), AccessKind::Read);
+        c.access(addr(1, 2), AccessKind::Read);
+        // Touch tag 1 so tag 2 is LRU.
+        c.access(addr(1, 1), AccessKind::Read);
+        let out = c.access(addr(1, 3), AccessKind::Read);
+        assert!(out.evicted);
+        assert!(c.contains(addr(1, 1)));
+        assert!(!c.contains(addr(1, 2)));
+        assert!(c.contains(addr(1, 3)));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = small();
+        c.access(addr(0, 1), AccessKind::Write);
+        c.access(addr(0, 2), AccessKind::Read);
+        let out = c.access(addr(0, 3), AccessKind::Read); // evicts dirty tag 1
+        assert!(out.evicted && out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access(addr(0, 1), AccessKind::Read);
+        c.access(addr(0, 2), AccessKind::Read);
+        let out = c.access(addr(0, 3), AccessKind::Read);
+        assert!(out.evicted && !out.writeback);
+    }
+
+    #[test]
+    fn write_through_never_dirties() {
+        let mut c = Cache::new(CacheConfig {
+            write_policy: WritePolicy::WriteThrough,
+            ..*small().config()
+        });
+        let out = c.access(addr(0, 1), AccessKind::Write);
+        assert!(out.wrote_through);
+        c.access(addr(0, 2), AccessKind::Read);
+        let out = c.access(addr(0, 3), AccessKind::Read);
+        assert!(out.evicted && !out.writeback);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn zero_line_fills_without_demand_miss() {
+        let mut c = small();
+        let out = c.zero_line(addr(2, 5));
+        assert!(!out.hit);
+        assert_eq!(c.stats().zero_fills, 1);
+        assert_eq!(c.stats().misses, 0, "dcbz fill is not a demand miss");
+        assert!(c.contains(addr(2, 5)));
+        // The established line is dirty: evicting it costs a writeback.
+        c.access(addr(2, 6), AccessKind::Read);
+        let out = c.access(addr(2, 7), AccessKind::Read);
+        assert!(out.writeback);
+    }
+
+    #[test]
+    fn prefetch_fills_without_demand_counters() {
+        let mut c = small();
+        assert!(c.prefetch(addr(1, 9)));
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.access(addr(1, 9), AccessKind::Read).hit);
+        assert!(!c.prefetch(addr(1, 9)));
+        assert_eq!(c.stats().prefetch_redundant, 1);
+    }
+
+    #[test]
+    fn locked_lines_survive_pressure() {
+        let mut c = small();
+        c.access(addr(3, 1), AccessKind::Read);
+        assert!(c.set_locked(addr(3, 1), true));
+        for tag in 2..10 {
+            c.access(addr(3, tag), AccessKind::Read);
+        }
+        assert!(c.contains(addr(3, 1)), "locked line must not be evicted");
+        c.unlock_all();
+        for tag in 10..14 {
+            c.access(addr(3, tag), AccessKind::Read);
+        }
+        assert!(!c.contains(addr(3, 1)), "unlocked line is evictable again");
+    }
+
+    #[test]
+    fn fully_locked_set_bypasses() {
+        let mut c = small();
+        c.access(addr(0, 1), AccessKind::Read);
+        c.access(addr(0, 2), AccessKind::Read);
+        c.set_locked(addr(0, 1), true);
+        c.set_locked(addr(0, 2), true);
+        let out = c.access(addr(0, 3), AccessKind::Read);
+        assert!(!out.hit && !out.evicted);
+        assert!(!c.contains(addr(0, 3)));
+        assert_eq!(c.stats().inhibited, 1);
+    }
+
+    #[test]
+    fn flush_all_counts_dirty_lines() {
+        let mut c = small();
+        c.access(addr(0, 1), AccessKind::Write);
+        c.access(addr(1, 1), AccessKind::Write);
+        c.access(addr(2, 1), AccessKind::Read);
+        assert_eq!(c.flush_all(), 2);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_discards() {
+        let mut c = small();
+        c.access(addr(0, 1), AccessKind::Write);
+        c.invalidate_all();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.contains(addr(0, 1)));
+    }
+
+    #[test]
+    fn resident_lines_tracks_fills() {
+        let mut c = small();
+        for i in 0..5 {
+            c.access(addr(i % 4, 1), AccessKind::Read);
+        }
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn set_locked_missing_line_is_false() {
+        let mut c = small();
+        assert!(!c.set_locked(addr(0, 1), true));
+    }
+}

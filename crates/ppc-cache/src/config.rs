@@ -1,0 +1,181 @@
+//! Cache geometry and policy configuration.
+
+/// Write policy of a cache.
+///
+/// The PowerPC 603/604 L1 data caches are write-back; the model also supports
+/// write-through so the analysis experiments can contrast the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Dirty lines are written to memory only on eviction.
+    WriteBack,
+    /// Every store also goes to memory immediately.
+    WriteThrough,
+}
+
+/// Geometry and timing of a single cache.
+///
+/// # Examples
+///
+/// ```
+/// use ppc_cache::CacheConfig;
+///
+/// let cfg = CacheConfig::ppc604_data();
+/// assert_eq!(cfg.num_sets(), 16 * 1024 / 32 / 4);
+/// assert_eq!(cfg.num_lines(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a power of two.
+    pub size_bytes: u32,
+    /// Line size in bytes. Must be a power of two (32 on the 603/604).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Cycles for a hit (pipelined load-use latency folded in).
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    /// The PowerPC 603 8 KiB, 2-way, 32-byte-line data cache.
+    pub fn ppc603_data() -> Self {
+        Self {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 2,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        }
+    }
+
+    /// The PowerPC 603 8 KiB, 2-way instruction cache.
+    pub fn ppc603_insn() -> Self {
+        Self::ppc603_data()
+    }
+
+    /// The PowerPC 604 16 KiB, 4-way, 32-byte-line data cache.
+    pub fn ppc604_data() -> Self {
+        Self {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        }
+    }
+
+    /// The PowerPC 604 16 KiB, 4-way instruction cache.
+    pub fn ppc604_insn() -> Self {
+        Self::ppc604_data()
+    }
+
+    /// A direct-mapped board-level L2 of `size_bytes` (1990s PowerMac/PReP
+    /// boards shipped 256 KiB – 1 MiB of lookaside SRAM).
+    pub fn board_l2(size_bytes: u32) -> Self {
+        Self {
+            size_bytes,
+            line_bytes: 32,
+            ways: 1,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.size_bytes / self.line_bytes / self.ways
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsensical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of size, line size or way count is zero or not a
+    /// power-of-two-compatible combination.
+    pub fn validate(&self) {
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.size_bytes >= self.line_bytes * self.ways,
+            "cache must hold at least one set"
+        );
+        assert!(
+            (self.size_bytes / self.line_bytes).is_multiple_of(self.ways),
+            "line count must divide evenly into ways"
+        );
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_603() {
+        let c = CacheConfig::ppc603_data();
+        c.validate();
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.num_lines(), 256);
+    }
+
+    #[test]
+    fn geometry_604() {
+        let c = CacheConfig::ppc604_data();
+        c.validate();
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.num_lines(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        CacheConfig {
+            size_bytes: 3000,
+            line_bytes: 32,
+            ways: 2,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn rejects_zero_ways() {
+        CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            ways: 0,
+            write_policy: WritePolicy::WriteBack,
+            hit_cycles: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn l604_is_twice_l603() {
+        // The paper (§6.2) leans on the 604 having twice the L1 of the 603.
+        assert_eq!(
+            CacheConfig::ppc604_data().size_bytes,
+            2 * CacheConfig::ppc603_data().size_bytes
+        );
+    }
+}

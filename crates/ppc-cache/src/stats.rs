@@ -1,0 +1,131 @@
+//! Cache statistics counters.
+
+/// Event counters for one cache.
+///
+/// The paper's measurements (hardware monitor on the 604, software counters
+/// on the 603, §4) are mirrored by these counters; experiments read them to
+/// report miss counts and pollution effects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total cacheable accesses (reads + writes + zeroing establishes).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed and caused a line fill.
+    pub misses: u64,
+    /// Valid lines displaced to make room for a fill.
+    pub evictions: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// Cache-inhibited accesses that bypassed the cache entirely.
+    pub inhibited: u64,
+    /// Lines established by `dcbz`-style zeroing (no memory read).
+    pub zero_fills: u64,
+    /// Lines brought in speculatively by software prefetch (`dcbt`).
+    pub prefetch_fills: u64,
+    /// Prefetches that were useless because the line was already present.
+    pub prefetch_redundant: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `1.0` when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; `0.0` when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.hit_rate()
+    }
+
+    /// Adds another counter set into this one (for aggregating I + D).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.inhibited += other.inhibited;
+        self.zero_fills += other.zero_fills;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_redundant += other.prefetch_redundant;
+    }
+
+    /// Difference `self - baseline`, saturating at zero, for A/B experiments.
+    pub fn delta(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(baseline.accesses),
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            writebacks: self.writebacks.saturating_sub(baseline.writebacks),
+            inhibited: self.inhibited.saturating_sub(baseline.inhibited),
+            zero_fills: self.zero_fills.saturating_sub(baseline.zero_fills),
+            prefetch_fills: self.prefetch_fills.saturating_sub(baseline.prefetch_fills),
+            prefetch_redundant: self
+                .prefetch_redundant
+                .saturating_sub(baseline.prefetch_redundant),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_one() {
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_basic() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 9,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 2,
+            misses: 2,
+            writebacks: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = CacheStats {
+            accesses: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.delta(&b).accesses, 0);
+        assert_eq!(b.delta(&a).accesses, 4);
+    }
+}

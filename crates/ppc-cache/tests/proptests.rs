@@ -1,0 +1,113 @@
+//! Property-based tests for the cache model.
+
+use proptest::prelude::*;
+
+use ppc_cache::cache::{AccessKind, Cache};
+use ppc_cache::config::{CacheConfig, WritePolicy};
+use ppc_cache::hierarchy::{MemSystem, MemSystemConfig};
+
+fn small_cfg(ways: u32) -> CacheConfig {
+    CacheConfig {
+        size_bytes: 1024,
+        line_bytes: 32,
+        ways,
+        write_policy: WritePolicy::WriteBack,
+        hit_cycles: 1,
+    }
+}
+
+proptest! {
+    /// Immediately after any access, the line is resident (no locked ways in
+    /// this test), and an immediate re-access hits.
+    #[test]
+    fn access_makes_resident(addrs in proptest::collection::vec(0u32..0x10_0000, 1..200),
+                             ways in prop::sample::select(vec![1u32, 2, 4])) {
+        let mut c = Cache::new(small_cfg(ways));
+        for &a in &addrs {
+            c.access(a, AccessKind::Read);
+            prop_assert!(c.contains(a), "line {a:#x} must be resident after access");
+            let out = c.access(a, AccessKind::Read);
+            prop_assert!(out.hit, "immediate re-access of {a:#x} must hit");
+        }
+    }
+
+    /// Accounting invariant: hits + misses == accesses, and residency never
+    /// exceeds capacity.
+    #[test]
+    fn stats_add_up(ops in proptest::collection::vec((0u32..0x4000, any::<bool>()), 1..300),
+                    ways in prop::sample::select(vec![1u32, 2, 4])) {
+        let mut c = Cache::new(small_cfg(ways));
+        for &(a, w) in &ops {
+            c.access(a, if w { AccessKind::Write } else { AccessKind::Read });
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(c.resident_lines() <= (c.config().num_lines()) as u64);
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+
+    /// Write-back: a dirty line leaves the cache only via a writeback;
+    /// clean lines never write back. Total writebacks never exceed stores.
+    #[test]
+    fn writebacks_bounded_by_stores(ops in proptest::collection::vec(
+        (0u32..0x2000, any::<bool>()), 1..300)) {
+        let mut c = Cache::new(small_cfg(2));
+        let mut stores = 0u64;
+        for &(a, w) in &ops {
+            c.access(a, if w { AccessKind::Write } else { AccessKind::Read });
+            if w {
+                stores += 1;
+            }
+        }
+        let flushed = c.flush_all();
+        prop_assert!(c.stats().writebacks <= stores,
+            "writebacks {} cannot exceed stores {stores}", c.stats().writebacks);
+        prop_assert!(flushed <= stores);
+    }
+
+    /// Locked lines survive arbitrary pressure; after unlock they can go.
+    #[test]
+    fn locking_pins_lines(pressure in proptest::collection::vec(0u32..0x8000, 1..200)) {
+        let mut c = Cache::new(small_cfg(2));
+        let pinned = 0x1_0000u32;
+        c.access(pinned, AccessKind::Read);
+        prop_assert!(c.set_locked(pinned, true));
+        for &a in &pressure {
+            c.access(a, AccessKind::Read);
+            prop_assert!(c.contains(pinned));
+        }
+    }
+
+    /// The memory system charges at least the hit cost for every cacheable
+    /// access, and cache-inhibited accesses never allocate.
+    #[test]
+    fn memsystem_costs_and_inhibition(ops in proptest::collection::vec(
+        (0u32..0x100_0000, any::<bool>(), any::<bool>()), 1..200)) {
+        let mut m = MemSystem::new(MemSystemConfig::ppc603());
+        for &(a, w, cached) in &ops {
+            let resident_before = m.dcache.contains(a);
+            let c = if w { m.data_write(a, cached) } else { m.data_read(a, cached) };
+            prop_assert!(c >= 1);
+            if !cached {
+                // An inhibited access never changes the line's residency
+                // (in particular it never allocates a missing line).
+                prop_assert_eq!(m.dcache.contains(a), resident_before);
+            }
+        }
+    }
+
+    /// dcbz never reads memory: zeroing N cold lines in an empty cache
+    /// costs less than reading them would.
+    #[test]
+    fn dcbz_cheaper_than_fills(n in 1u32..64) {
+        let mut za = MemSystem::new(MemSystemConfig::ppc604());
+        let mut rd = MemSystem::new(MemSystemConfig::ppc604());
+        let mut zc = 0;
+        let mut rc = 0;
+        for i in 0..n {
+            zc += za.dcbz(i * 32);
+            rc += rd.data_read(i * 32, true);
+        }
+        prop_assert!(zc < rc, "dcbz {zc} must beat demand fills {rc}");
+    }
+}

@@ -1,0 +1,253 @@
+//! The machine: MMU + memory system + cycle accumulator.
+
+use ppc_cache::hierarchy::MemSystem;
+use ppc_mmu::addr::{PhysAddr, VirtualAddress, PAGE_SIZE};
+use ppc_mmu::translate::Mmu;
+
+use crate::config::MachineConfig;
+use crate::monitor::MonitorSnapshot;
+use crate::time::SimTime;
+use crate::Cycles;
+
+/// Outcome of a memory reference at the machine level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRefOutcome {
+    /// Translated and performed.
+    Done {
+        /// Physical address accessed.
+        pa: PhysAddr,
+    },
+    /// The TLB missed and no reload source resolved it: a page fault the OS
+    /// must service.
+    Fault {
+        /// The faulting virtual address.
+        va: VirtualAddress,
+    },
+}
+
+/// What a TLB-miss reload found, reported by the OS layer back to the
+/// experiment harness for counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadOutcome {
+    /// Found in the hash table (a hash-table hit on a TLB miss).
+    HtabHit,
+    /// Hash table missed; the Linux page-table tree supplied the PTE.
+    LinuxPtHit,
+    /// Neither held the mapping: a real page fault.
+    PageFault,
+}
+
+/// One simulated machine: configuration, MMU state, cache state, and the
+/// cycle clock.
+///
+/// The machine prices accesses but contains no OS policy; the kernel
+/// simulator (`kernel-sim`) drives it and implements reload/fault paths.
+///
+/// # Examples
+///
+/// ```
+/// use ppc_machine::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::ppc604_185());
+/// let before = m.cycles;
+/// m.data_read_pa(0x4000, true);
+/// assert!(m.cycles > before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The machine's static configuration.
+    pub cfg: MachineConfig,
+    /// MMU front end (segments, BATs, TLBs).
+    pub mmu: Mmu,
+    /// Memory hierarchy (L1 caches + bus).
+    pub mem: MemSystem,
+    /// The cycle clock.
+    pub cycles: Cycles,
+}
+
+impl Machine {
+    /// Builds a cold machine (empty TLBs and caches, cycle clock at zero).
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            cfg,
+            mmu: Mmu::new(cfg.mmu),
+            mem: MemSystem::new(cfg.mem),
+            cycles: 0,
+        }
+    }
+
+    /// Adds raw cycles (pipeline work not tied to a memory reference).
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.cycles += cycles;
+    }
+
+    /// Executes `n` straight-line instructions whose fetch traffic is already
+    /// accounted (or negligible): 1 cycle each.
+    pub fn exec_insns(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Performs a data read at a known physical address.
+    pub fn data_read_pa(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
+        let c = self.mem.data_read(pa, cached);
+        self.cycles += c;
+        c
+    }
+
+    /// Performs a data write at a known physical address.
+    pub fn data_write_pa(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
+        let c = self.mem.data_write(pa, cached);
+        self.cycles += c;
+        c
+    }
+
+    /// Fetches instructions from a known physical address, one access per
+    /// cache line covered by `n_insns` 4-byte instructions, plus 1 cycle per
+    /// instruction of pipeline work.
+    pub fn exec_code_pa(&mut self, pa: PhysAddr, n_insns: u32, cached: bool) -> Cycles {
+        let line = self.mem.icache.config().line_bytes;
+        let bytes = n_insns * 4;
+        let mut fetched = 0;
+        let mut a = pa & !(line - 1);
+        while a < pa + bytes {
+            fetched += self.mem.insn_fetch(a, cached);
+            a += line;
+        }
+        let total = fetched + n_insns as Cycles;
+        self.cycles += total;
+        total
+    }
+
+    /// Zeroes one page at `page_pa`, through or around the cache (paper §9).
+    pub fn zero_page_pa(&mut self, page_pa: PhysAddr, through_cache: bool) -> Cycles {
+        let c = self.mem.zero_page(page_pa, PAGE_SIZE, through_cache);
+        self.cycles += c;
+        c
+    }
+
+    /// Zeroes one page with ordinary cached stores (the non-`dcbz`
+    /// `clear_page()` the paper's kernel used, §9).
+    pub fn zero_page_stores_pa(&mut self, page_pa: PhysAddr) -> Cycles {
+        let c = self.mem.zero_page_stores(page_pa, PAGE_SIZE);
+        self.cycles += c;
+        c
+    }
+
+    /// Copies `bytes` between two physical regions through the data cache
+    /// (read each source line, write each destination line), modelling
+    /// kernel `copy_to/from_user` and pipe buffer copies. Costs loop cycles
+    /// plus the cache traffic.
+    pub fn copy_pa(&mut self, src: PhysAddr, dst: PhysAddr, bytes: u32, cached: bool) -> Cycles {
+        let line = self.mem.dcache.config().line_bytes;
+        let mut c: Cycles = 0;
+        let mut off = 0;
+        while off < bytes {
+            c += self.mem.data_read(src + off, cached);
+            c += self.mem.data_write(dst + off, cached);
+            // Two loop iterations of address arithmetic per line.
+            c += 2;
+            off += line;
+        }
+        self.cycles += c;
+        c
+    }
+
+    /// The current simulated time.
+    pub fn time(&self) -> SimTime {
+        SimTime::new(self.cycles, self.cfg.clock_mhz)
+    }
+
+    /// Converts a cycle delta to time on this machine's clock.
+    pub fn time_of(&self, cycles: Cycles) -> SimTime {
+        SimTime::new(cycles, self.cfg.clock_mhz)
+    }
+
+    /// Snapshot of every hardware counter (the 604 performance monitor /
+    /// 603 software counters, paper §4).
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            cycles: self.cycles,
+            itlb: *self.mmu.itlb.stats(),
+            dtlb: *self.mmu.dtlb.stats(),
+            icache: *self.mem.icache.stats(),
+            dcache: *self.mem.dcache.stats(),
+            ibat_hits: self.mmu.bats.ibat_hits,
+            dbat_hits: self.mmu.bats.dbat_hits,
+        }
+    }
+
+    /// Clears all statistics counters (but not TLB/cache *state*), so an
+    /// experiment can measure a steady-state window.
+    pub fn reset_stats(&mut self) {
+        self.mmu.itlb.reset_stats();
+        self.mmu.dtlb.reset_stats();
+        self.mem.reset_stats();
+        self.mmu.bats.ibat_hits = 0;
+        self.mmu.bats.dbat_hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn exec_code_charges_fetch_plus_pipeline() {
+        let mut m = Machine::new(MachineConfig::ppc603_133());
+        // 16 instructions = 64 bytes = 2 cache lines, cold.
+        let c = m.exec_code_pa(0x1000, 16, true);
+        let fill = m.mem.bus.line_fill;
+        assert_eq!(c, 2 * fill + 16);
+        // Second run hits the icache.
+        let c2 = m.exec_code_pa(0x1000, 16, true);
+        assert_eq!(c2, 2 * m.mem.icache.config().hit_cycles + 16);
+    }
+
+    #[test]
+    fn exec_code_unaligned_start_spans_extra_line() {
+        let mut m = Machine::new(MachineConfig::ppc603_133());
+        // 8 instructions starting 16 bytes into a line cover 2 lines.
+        m.exec_code_pa(0x1010, 8, true);
+        assert_eq!(m.mem.icache.stats().misses, 2);
+    }
+
+    #[test]
+    fn copy_reads_source_and_writes_destination() {
+        let mut m = Machine::new(MachineConfig::ppc604_185());
+        m.copy_pa(0x10000, 0x20000, 4096, true);
+        let d = m.mem.dcache.stats();
+        assert_eq!(d.accesses, 2 * 4096 / 32);
+        assert!(m.mem.dcache.contains(0x10000));
+        assert!(m.mem.dcache.contains(0x20000));
+    }
+
+    #[test]
+    fn zero_page_cached_vs_uncached() {
+        let mut a = Machine::new(MachineConfig::ppc603_133());
+        let mut b = Machine::new(MachineConfig::ppc603_133());
+        a.zero_page_pa(0x4000, true);
+        b.zero_page_pa(0x4000, false);
+        assert!(a.mem.dcache.resident_lines() > 0);
+        assert_eq!(b.mem.dcache.resident_lines(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_counts_window() {
+        let mut m = Machine::new(MachineConfig::ppc604_185());
+        m.data_read_pa(0, true);
+        let s1 = m.snapshot();
+        m.data_read_pa(0x10000, true);
+        let s2 = m.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.dcache.accesses, 1);
+        assert!(d.cycles > 0);
+    }
+
+    #[test]
+    fn time_uses_machine_clock() {
+        let mut m = Machine::new(MachineConfig::ppc604_200());
+        m.charge(200);
+        assert!((m.time().as_us() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Exception and interrupt cost constants.
+//!
+//! Every constant here is taken from the paper (§5, §6) or the 603/604
+//! user's manuals; they are hardware properties, not OS policy (OS-side path
+//! lengths live in `kernel-sim`).
+
+use crate::Cycles;
+
+/// Hardware exception costs for one CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceptionCosts {
+    /// Cycles just to invoke and return from the 603's TLB-miss handler,
+    /// excluding the handler body ("It takes 32 cycles simply to invoke and
+    /// return from the handler", paper §5). Zero on the 604, which reloads in
+    /// hardware.
+    pub tlb_miss_invoke_return: Cycles,
+    /// Fixed (non-memory) overhead of the 604's hardware hash-table walk:
+    /// hash computation and compare logic. The memory accesses are priced
+    /// separately through the cache model; together they reach the paper's
+    /// "up to 120 instruction cycles and 16 memory accesses".
+    pub hw_walk_overhead: Cycles,
+    /// Cycles to invoke the software handler when the hardware walk fails
+    /// ("at least 91 more cycles to just invoke the handler", paper §5).
+    pub htab_miss_interrupt: Cycles,
+    /// General exception entry (syscall, external interrupt): vector
+    /// redirect, MSR swap, pipeline refill.
+    pub exception_entry: Cycles,
+    /// General exception exit (`rfi` and pipeline refill).
+    pub exception_exit: Cycles,
+}
+
+impl ExceptionCosts {
+    /// PowerPC 603 costs (software TLB reload).
+    pub fn ppc603() -> Self {
+        Self {
+            tlb_miss_invoke_return: 32,
+            hw_walk_overhead: 0,
+            htab_miss_interrupt: 0,
+            exception_entry: 20,
+            exception_exit: 16,
+        }
+    }
+
+    /// PowerPC 604 costs (hardware hash-table walk).
+    pub fn ppc604() -> Self {
+        Self {
+            tlb_miss_invoke_return: 0,
+            hw_walk_overhead: 24,
+            htab_miss_interrupt: 91,
+            exception_entry: 22,
+            exception_exit: 18,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(ExceptionCosts::ppc603().tlb_miss_invoke_return, 32);
+        assert_eq!(ExceptionCosts::ppc604().htab_miss_interrupt, 91);
+    }
+
+    #[test]
+    fn each_model_uses_its_own_reload_style() {
+        assert_eq!(ExceptionCosts::ppc604().tlb_miss_invoke_return, 0);
+        assert_eq!(ExceptionCosts::ppc603().htab_miss_interrupt, 0);
+    }
+}

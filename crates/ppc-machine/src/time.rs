@@ -1,0 +1,92 @@
+//! Cycle ↔ wall-clock conversion.
+
+use crate::Cycles;
+
+/// A cycle count bound to a clock frequency, convertible to wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use ppc_machine::SimTime;
+///
+/// let t = SimTime::new(1_330_000, 133);
+/// assert_eq!(t.as_us(), 10_000.0);
+/// assert_eq!(t.as_ms(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime {
+    /// The raw cycle count.
+    pub cycles: Cycles,
+    /// Clock frequency in MHz.
+    pub clock_mhz: u32,
+}
+
+impl SimTime {
+    /// Binds `cycles` to a clock.
+    pub fn new(cycles: Cycles, clock_mhz: u32) -> Self {
+        Self { cycles, clock_mhz }
+    }
+
+    /// Microseconds.
+    pub fn as_us(&self) -> f64 {
+        self.cycles as f64 / self.clock_mhz as f64
+    }
+
+    /// Milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.as_us() / 1000.0
+    }
+
+    /// Seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.as_us() / 1_000_000.0
+    }
+
+    /// Human-readable rendering with an auto-selected unit.
+    pub fn pretty(&self) -> String {
+        let us = self.as_us();
+        if us < 1000.0 {
+            format!("{us:.1}us")
+        } else if us < 1_000_000.0 {
+            format!("{:.2}ms", self.as_ms())
+        } else {
+            format!("{:.2}s", self.as_secs())
+        }
+    }
+}
+
+/// Computes a throughput in MB/s from bytes moved and the time taken.
+pub fn mb_per_sec(bytes: u64, time: SimTime) -> f64 {
+    if time.cycles == 0 {
+        return 0.0;
+    }
+    bytes as f64 / (1024.0 * 1024.0) / time.as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = SimTime::new(185, 185);
+        assert!((t.as_us() - 1.0).abs() < 1e-12);
+        let t = SimTime::new(185_000_000, 185);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pretty_selects_units() {
+        assert_eq!(SimTime::new(133, 133).pretty(), "1.0us");
+        assert_eq!(SimTime::new(133_000, 133).pretty(), "1.00ms");
+        assert_eq!(SimTime::new(133_000_000, 133).pretty(), "1.00s");
+    }
+
+    #[test]
+    fn throughput() {
+        // 1 MiB in 1 second = 1 MB/s.
+        let t = SimTime::new(133_000_000, 133);
+        assert!((mb_per_sec(1024 * 1024, t) - 1.0).abs() < 1e-9);
+        assert_eq!(mb_per_sec(1024, SimTime::new(0, 133)), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Address types: effective, virtual, and physical addresses.
+//!
+//! The 32-bit PowerPC address pipeline (paper Figure 1):
+//!
+//! ```text
+//! 32-bit effective address:  [ 4-bit SR# | 16-bit page index | 12-bit offset ]
+//! 52-bit virtual address:    [ 24-bit VSID | 16-bit page index | 12-bit offset ]
+//! 32-bit physical address:   [ 20-bit physical page number | 12-bit offset ]
+//! ```
+
+/// Base-2 log of the page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// A raw 32-bit physical address.
+pub type PhysAddr = u32;
+
+/// A 32-bit effective (program-visible) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EffectiveAddress(pub u32);
+
+impl EffectiveAddress {
+    /// The segment-register number: the top 4 bits.
+    pub fn sr_index(self) -> usize {
+        (self.0 >> 28) as usize
+    }
+
+    /// The 16-bit page index within the segment.
+    pub fn page_index(self) -> u32 {
+        (self.0 >> PAGE_SHIFT) & 0xffff
+    }
+
+    /// The 12-bit byte offset within the page.
+    pub fn offset(self) -> u32 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The effective page number (top 20 bits): SR# plus page index.
+    pub fn epn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// The address rounded down to its page boundary.
+    pub fn page_base(self) -> EffectiveAddress {
+        EffectiveAddress(self.0 & !(PAGE_SIZE - 1))
+    }
+}
+
+/// A 24-bit virtual segment identifier.
+///
+/// The paper's VSID-management tricks (§5.2 scatter constants, §7 lazy
+/// flushes via a context counter) all manipulate these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vsid(u32);
+
+impl Vsid {
+    /// Mask of the valid VSID bits.
+    pub const MASK: u32 = 0x00ff_ffff;
+
+    /// Creates a VSID, truncating to 24 bits.
+    pub fn new(raw: u32) -> Self {
+        Vsid(raw & Self::MASK)
+    }
+
+    /// The raw 24-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A 52-bit virtual address, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtualAddress {
+    /// The segment identifier from the segment register.
+    pub vsid: Vsid,
+    /// The 16-bit page index.
+    pub page_index: u32,
+    /// The 12-bit byte offset.
+    pub offset: u32,
+}
+
+impl VirtualAddress {
+    /// The 40-bit virtual page number (VSID concatenated with page index),
+    /// the unit the TLB and hash table tag on.
+    pub fn vpn(self) -> u64 {
+        ((self.vsid.raw() as u64) << 16) | self.page_index as u64
+    }
+
+    /// The 6-bit abbreviated page index stored in an architected PTE
+    /// (the high 6 bits of the page index).
+    pub fn api(self) -> u32 {
+        self.page_index >> 10
+    }
+}
+
+/// Composes a physical address from a 20-bit physical page number and an
+/// in-page offset.
+pub fn phys(ppn: u32, offset: u32) -> PhysAddr {
+    debug_assert!(ppn < (1 << 20), "physical page number is 20 bits");
+    debug_assert!(offset < PAGE_SIZE);
+    (ppn << PAGE_SHIFT) | offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ea_decomposition() {
+        let ea = EffectiveAddress(0xc012_3abc);
+        assert_eq!(ea.sr_index(), 0xc);
+        assert_eq!(ea.page_index(), 0x0123);
+        assert_eq!(ea.offset(), 0xabc);
+        assert_eq!(ea.epn(), 0xc0123);
+        assert_eq!(ea.page_base().0, 0xc012_3000);
+    }
+
+    #[test]
+    fn ea_boundaries() {
+        assert_eq!(EffectiveAddress(0).sr_index(), 0);
+        assert_eq!(EffectiveAddress(0xffff_ffff).sr_index(), 15);
+        assert_eq!(EffectiveAddress(0xffff_ffff).page_index(), 0xffff);
+        assert_eq!(EffectiveAddress(0xffff_ffff).offset(), 0xfff);
+    }
+
+    #[test]
+    fn vsid_truncates_to_24_bits() {
+        assert_eq!(Vsid::new(0xffff_ffff).raw(), 0x00ff_ffff);
+        assert_eq!(Vsid::new(0x12_3456).raw(), 0x12_3456);
+    }
+
+    #[test]
+    fn vpn_concatenates() {
+        let va = VirtualAddress {
+            vsid: Vsid::new(0xabcdef),
+            page_index: 0x1234,
+            offset: 0,
+        };
+        assert_eq!(va.vpn(), 0xabcdef_1234);
+    }
+
+    #[test]
+    fn api_is_top_6_bits_of_page_index() {
+        let va = VirtualAddress {
+            vsid: Vsid::new(1),
+            page_index: 0xffff,
+            offset: 0,
+        };
+        assert_eq!(va.api(), 0x3f);
+        let va = VirtualAddress {
+            vsid: Vsid::new(1),
+            page_index: 0x03ff,
+            offset: 0,
+        };
+        assert_eq!(va.api(), 0);
+    }
+
+    #[test]
+    fn phys_composition() {
+        assert_eq!(phys(0x12345, 0xabc), 0x1234_5abc);
+    }
+}

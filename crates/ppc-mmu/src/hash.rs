@@ -1,0 +1,122 @@
+//! The architected hash functions that index the page-table groups.
+
+use crate::addr::Vsid;
+
+/// The primary/secondary hash scheme of the PowerPC hashed page table.
+///
+/// The primary hash XORs the low 19 bits of the VSID with the 16-bit page
+/// index; the secondary hash is the one's complement of the primary. The
+/// low-order bits of the hash (per `HTABMASK`) select a PTE group (PTEG) of
+/// eight entries.
+///
+/// Because the hash relies on VSID variation to scatter similar address
+/// spaces ("the logical address spaces of processes tend to be similar so the
+/// hash functions rely on the VSIDs to provide variation", paper §5.2), a
+/// poor VSID allocator produces PTEG hot-spots — which experiment E-HASH
+/// reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFunction {
+    num_groups: u32,
+}
+
+impl HashFunction {
+    /// Creates a hash for a table of `num_groups` PTEGs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_groups` is not a power of two (the architecture
+    /// requires a power-of-two group count) or exceeds 2^19.
+    pub fn new(num_groups: u32) -> Self {
+        assert!(
+            num_groups.is_power_of_two(),
+            "PTEG count must be a power of two"
+        );
+        assert!(num_groups <= 1 << 19, "hash is 19 bits wide");
+        Self { num_groups }
+    }
+
+    /// Number of PTEGs addressed.
+    pub fn num_groups(&self) -> u32 {
+        self.num_groups
+    }
+
+    /// The 19-bit primary hash value.
+    pub fn primary_hash(&self, vsid: Vsid, page_index: u32) -> u32 {
+        (vsid.raw() & 0x7ffff) ^ (page_index & 0xffff)
+    }
+
+    /// PTEG index for a lookup: primary, or its complement for the secondary
+    /// ("overflow") group.
+    pub fn pteg_index(&self, vsid: Vsid, page_index: u32, secondary: bool) -> u32 {
+        let h = self.primary_hash(vsid, page_index);
+        let h = if secondary { !h & 0x7ffff } else { h };
+        h & (self.num_groups - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_is_xor() {
+        let h = HashFunction::new(2048);
+        assert_eq!(h.primary_hash(Vsid::new(0b1010), 0b0110), 0b1100);
+    }
+
+    #[test]
+    fn vsid_low_19_bits_only() {
+        let h = HashFunction::new(2048);
+        // Bits above 19 of the VSID never affect the hash.
+        assert_eq!(
+            h.primary_hash(Vsid::new(0x7ffff), 0),
+            h.primary_hash(Vsid::new(0xf7ffff), 0)
+        );
+    }
+
+    #[test]
+    fn secondary_differs_from_primary() {
+        let h = HashFunction::new(2048);
+        for pi in [0u32, 1, 0x1234, 0xffff] {
+            let p = h.pteg_index(Vsid::new(0x42), pi, false);
+            let s = h.pteg_index(Vsid::new(0x42), pi, true);
+            assert_ne!(p, s, "primary and secondary PTEG must differ (pi={pi:#x})");
+        }
+    }
+
+    #[test]
+    fn secondary_is_complement_within_mask() {
+        let h = HashFunction::new(2048);
+        let p = h.pteg_index(Vsid::new(0x42), 0x777, false);
+        let s = h.pteg_index(Vsid::new(0x42), 0x777, true);
+        assert_eq!(s, !p & (2048 - 1));
+    }
+
+    #[test]
+    fn index_is_in_range() {
+        let h = HashFunction::new(512);
+        for v in 0..64u32 {
+            for pi in (0..0x10000u32).step_by(977) {
+                assert!(h.pteg_index(Vsid::new(v * 0x111), pi, false) < 512);
+                assert!(h.pteg_index(Vsid::new(v * 0x111), pi, true) < 512);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_groups() {
+        HashFunction::new(1000);
+    }
+
+    #[test]
+    fn identical_address_spaces_with_same_vsid_collide() {
+        // This is exactly the hot-spot phenomenon of paper §5.2: two processes
+        // with similar logical address spaces and *adjacent* VSIDs map to
+        // adjacent PTEGs, clustering in the table.
+        let h = HashFunction::new(2048);
+        let a = h.pteg_index(Vsid::new(10), 0, false);
+        let b = h.pteg_index(Vsid::new(11), 0, false);
+        assert_eq!(b ^ a, 1, "adjacent VSIDs differ by one PTEG for page 0");
+    }
+}

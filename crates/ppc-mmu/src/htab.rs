@@ -1,0 +1,626 @@
+//! The in-memory hashed page table (htab).
+
+use crate::addr::{PhysAddr, Vsid};
+use crate::hash::HashFunction;
+use crate::pte::Pte;
+
+/// Number of PTEs per PTE group (PTEG).
+pub const PTES_PER_GROUP: usize = 8;
+
+/// Which slot the reload code displaces when both candidate PTEGs are full.
+///
+/// The paper (§7) says the reload code "chose an arbitrary PTE to replace";
+/// Linux/PPC used a rotating cursor. The alternatives quantify how much the
+/// choice matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// A per-group rotating cursor (Linux/PPC's choice).
+    #[default]
+    RoundRobin,
+    /// A pseudo-random slot (deterministic xorshift).
+    Random,
+    /// Always slot 0 — the pathological baseline.
+    FirstSlot,
+}
+
+/// Bytes per architected PTE.
+pub const PTE_BYTES: u32 = 8;
+
+/// Statistics for the hash table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HtabStats {
+    /// Lookups performed.
+    pub searches: u64,
+    /// Lookups satisfied from the primary PTEG.
+    pub found_primary: u64,
+    /// Lookups satisfied from the secondary PTEG.
+    pub found_secondary: u64,
+    /// Lookups that missed both PTEGs.
+    pub misses: u64,
+    /// Individual PTE slots probed (each is one memory reference).
+    pub probes: u64,
+    /// PTEs inserted.
+    pub inserts: u64,
+    /// Inserts that found an empty (invalid) slot.
+    pub inserts_into_empty: u64,
+    /// Inserts that displaced a slot whose valid bit was set.
+    pub evictions: u64,
+    /// Explicit invalidations of single entries.
+    pub invalidates: u64,
+    /// Zombie entries physically invalidated by the idle-task reclaim scan.
+    pub zombies_reclaimed: u64,
+}
+
+impl HtabStats {
+    /// Hit rate of searches, in `[0, 1]`; `1.0` with no searches.
+    pub fn hit_rate(&self) -> f64 {
+        if self.searches == 0 {
+            1.0
+        } else {
+            (self.found_primary + self.found_secondary) as f64 / self.searches as f64
+        }
+    }
+
+    /// The paper's §7 "ratio of hash table reloads to evicts": fraction of
+    /// inserts that had to displace a valid entry.
+    pub fn evict_ratio(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / self.inserts as f64
+        }
+    }
+}
+
+/// Result of a hash-table search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The matching entry, if found.
+    pub pte: Option<Pte>,
+    /// Location `(group, slot)` of the match.
+    pub location: Option<(u32, usize)>,
+    /// Number of PTE slots read while searching (memory references).
+    pub probes: u32,
+}
+
+/// Result of a hash-table insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Where the entry landed `(group, slot)`.
+    pub location: (u32, usize),
+    /// The entry that was displaced, if its valid bit was set. The caller
+    /// (which knows which VSIDs are live) classifies it as a real eviction or
+    /// a zombie replacement.
+    pub displaced: Option<Pte>,
+    /// Whether the new entry went in via the secondary hash.
+    pub secondary: bool,
+    /// Number of PTE slots read while looking for a free slot.
+    pub probes: u32,
+}
+
+/// The architected hashed page table: `num_groups` PTEGs of eight entries,
+/// resident at `base_pa` in simulated physical memory.
+///
+/// The table does not know which VSIDs are live — exactly like the hardware.
+/// Zombie entries (valid bit set, VSID retired by the lazy-flush scheme of
+/// paper §7) look identical to live ones until the idle task's
+/// [`HashTable::reclaim_zombies`] scan clears them.
+///
+/// # Examples
+///
+/// ```
+/// use ppc_mmu::{HashTable, Pte, addr::Vsid};
+///
+/// let mut htab = HashTable::new(2048, 0x10_0000);
+/// let mut pte = Pte::invalid();
+/// pte.valid = true;
+/// pte.vsid = Vsid::new(42);
+/// pte.page_index = 7;
+/// pte.rpn = 0x123;
+/// htab.insert(pte);
+/// let found = htab.search(Vsid::new(42), 7);
+/// assert_eq!(found.pte.unwrap().rpn, 0x123);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    hash: HashFunction,
+    groups: Vec<[Pte; PTES_PER_GROUP]>,
+    base_pa: PhysAddr,
+    /// Per-group round-robin eviction cursors (like Linux/PPC's next-slot).
+    rr: Vec<u8>,
+    stats: HtabStats,
+    /// Cursor for the incremental idle-task reclaim scan.
+    reclaim_cursor: u32,
+    /// Replacement policy for full-group inserts.
+    replacement: Replacement,
+    /// Xorshift state for [`Replacement::Random`].
+    rng_state: u32,
+}
+
+impl HashTable {
+    /// Creates an empty table of `num_groups` PTEGs based at `base_pa`.
+    ///
+    /// The paper's machines use 16384 PTEs = 2048 groups (§7: "600–700 out
+    /// of 16384").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_groups` is not a power of two.
+    pub fn new(num_groups: u32, base_pa: PhysAddr) -> Self {
+        Self {
+            hash: HashFunction::new(num_groups),
+            groups: vec![[Pte::invalid(); PTES_PER_GROUP]; num_groups as usize],
+            base_pa,
+            rr: vec![0; num_groups as usize],
+            stats: HtabStats::default(),
+            reclaim_cursor: 0,
+            replacement: Replacement::RoundRobin,
+            rng_state: 0x2545_f491,
+        }
+    }
+
+    /// Selects the replacement policy for full-group inserts.
+    pub fn set_replacement(&mut self, policy: Replacement) {
+        self.replacement = policy;
+    }
+
+    /// The hash function in use.
+    pub fn hash(&self) -> HashFunction {
+        self.hash
+    }
+
+    /// Total PTE capacity.
+    pub fn capacity(&self) -> u32 {
+        self.hash.num_groups() * PTES_PER_GROUP as u32
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HtabStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = HtabStats::default();
+    }
+
+    /// Physical address of slot `(group, slot)`, for cache-traffic modelling.
+    pub fn slot_pa(&self, group: u32, slot: usize) -> PhysAddr {
+        self.base_pa + (group * PTES_PER_GROUP as u32 + slot as u32) * PTE_BYTES
+    }
+
+    /// Searches for `(vsid, page_index)`: primary PTEG first, then secondary,
+    /// probing slots in order exactly as the 604's hardware walker does.
+    /// `visit` is called with the physical address of every slot probed so
+    /// the caller can charge cache/bus traffic.
+    pub fn search_with(
+        &mut self,
+        vsid: Vsid,
+        page_index: u32,
+        mut visit: impl FnMut(PhysAddr),
+    ) -> SearchOutcome {
+        self.stats.searches += 1;
+        let mut probes = 0u32;
+        for secondary in [false, true] {
+            let g = self.hash.pteg_index(vsid, page_index, secondary);
+            for (slot, pte) in self.groups[g as usize].iter().enumerate() {
+                probes += 1;
+                visit(self.slot_pa(g, slot));
+                if pte.matches(vsid, page_index, secondary) {
+                    self.stats.probes += probes as u64;
+                    if secondary {
+                        self.stats.found_secondary += 1;
+                    } else {
+                        self.stats.found_primary += 1;
+                    }
+                    return SearchOutcome {
+                        pte: Some(*pte),
+                        location: Some((g, slot)),
+                        probes,
+                    };
+                }
+            }
+        }
+        self.stats.probes += probes as u64;
+        self.stats.misses += 1;
+        SearchOutcome {
+            pte: None,
+            location: None,
+            probes,
+        }
+    }
+
+    /// [`HashTable::search_with`] without the probe callback.
+    pub fn search(&mut self, vsid: Vsid, page_index: u32) -> SearchOutcome {
+        self.search_with(vsid, page_index, |_| {})
+    }
+
+    /// Inserts `pte`, preferring an empty slot in the primary PTEG, then the
+    /// secondary PTEG, then round-robin displacement in the primary group
+    /// (the paper's §7 policy: the reload code "replace\[s\] an entry when
+    /// needed, not checking if it has a currently valid VSID or not").
+    /// `visit` receives the address of every slot examined plus the slot
+    /// written.
+    pub fn insert_with(&mut self, mut pte: Pte, mut visit: impl FnMut(PhysAddr)) -> InsertOutcome {
+        self.stats.inserts += 1;
+        pte.valid = true;
+        let mut probes = 0u32;
+        for secondary in [false, true] {
+            let g = self.hash.pteg_index(pte.vsid, pte.page_index, secondary);
+            for slot in 0..PTES_PER_GROUP {
+                probes += 1;
+                visit(self.slot_pa(g, slot));
+                if !self.groups[g as usize][slot].valid {
+                    pte.secondary = secondary;
+                    self.groups[g as usize][slot] = pte;
+                    visit(self.slot_pa(g, slot));
+                    self.stats.inserts_into_empty += 1;
+                    return InsertOutcome {
+                        location: (g, slot),
+                        displaced: None,
+                        secondary,
+                        probes,
+                    };
+                }
+            }
+        }
+        // Both groups full: displace per the configured policy in the
+        // primary group.
+        let g = self.hash.pteg_index(pte.vsid, pte.page_index, false);
+        let slot = match self.replacement {
+            Replacement::RoundRobin => {
+                let s = self.rr[g as usize] as usize % PTES_PER_GROUP;
+                self.rr[g as usize] = self.rr[g as usize].wrapping_add(1);
+                s
+            }
+            Replacement::Random => {
+                // Xorshift32: deterministic, well-spread.
+                let mut x = self.rng_state;
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                self.rng_state = x;
+                (x as usize) % PTES_PER_GROUP
+            }
+            Replacement::FirstSlot => 0,
+        };
+        let displaced = self.groups[g as usize][slot];
+        pte.secondary = false;
+        self.groups[g as usize][slot] = pte;
+        visit(self.slot_pa(g, slot));
+        self.stats.evictions += 1;
+        InsertOutcome {
+            location: (g, slot),
+            displaced: Some(displaced),
+            secondary: false,
+            probes,
+        }
+    }
+
+    /// [`HashTable::insert_with`] without the probe callback.
+    pub fn insert(&mut self, pte: Pte) -> InsertOutcome {
+        self.insert_with(pte, |_| {})
+    }
+
+    /// Invalidates the entry for `(vsid, page_index)` if present, searching
+    /// both PTEGs (up to 16 memory references — the §7 flush cost). Returns
+    /// the probe count and whether an entry was cleared.
+    pub fn invalidate_with(
+        &mut self,
+        vsid: Vsid,
+        page_index: u32,
+        visit: impl FnMut(PhysAddr),
+    ) -> (u32, bool) {
+        let found = self.search_with(vsid, page_index, visit);
+        if let Some((g, slot)) = found.location {
+            self.groups[g as usize][slot].valid = false;
+            self.stats.invalidates += 1;
+            (found.probes, true)
+        } else {
+            (found.probes, false)
+        }
+    }
+
+    /// [`HashTable::invalidate_with`] without the probe callback.
+    pub fn invalidate(&mut self, vsid: Vsid, page_index: u32) -> (u32, bool) {
+        self.invalidate_with(vsid, page_index, |_| {})
+    }
+
+    /// Scans up to `max_groups` PTEGs from the rotating reclaim cursor and
+    /// clears the valid bit of every entry whose VSID `is_live` rejects.
+    /// This is the paper's headline trick (§7): "setting the idle task to
+    /// reclaim zombie hash table entries by scanning the hash table when the
+    /// cpu is idle". Returns `(slots_scanned, zombies_cleared)`.
+    pub fn reclaim_zombies(
+        &mut self,
+        max_groups: u32,
+        mut is_live: impl FnMut(Vsid) -> bool,
+    ) -> (u32, u32) {
+        let n = self.hash.num_groups();
+        let max_groups = max_groups.min(n);
+        let mut scanned = 0;
+        let mut cleared = 0;
+        for _ in 0..max_groups {
+            let g = self.reclaim_cursor as usize;
+            self.reclaim_cursor = (self.reclaim_cursor + 1) % n;
+            for pte in &mut self.groups[g] {
+                scanned += 1;
+                if pte.valid && !is_live(pte.vsid) {
+                    pte.valid = false;
+                    cleared += 1;
+                }
+            }
+        }
+        self.stats.zombies_reclaimed += cleared as u64;
+        (scanned, cleared)
+    }
+
+    /// Scans the whole table and invalidates every valid entry whose VSID
+    /// satisfies `pred` — the *eager* context flush the lazy scheme replaces.
+    /// Returns `(slots_scanned, entries_cleared)`.
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(Vsid) -> bool) -> (u32, u32) {
+        let mut scanned = 0;
+        let mut cleared = 0;
+        for g in &mut self.groups {
+            for pte in g {
+                scanned += 1;
+                if pte.valid && pred(pte.vsid) {
+                    pte.valid = false;
+                    cleared += 1;
+                    self.stats.invalidates += 1;
+                }
+            }
+        }
+        (scanned, cleared)
+    }
+
+    /// The PTEG the next [`HashTable::reclaim_zombies`] call starts at.
+    pub fn reclaim_cursor(&self) -> u32 {
+        self.reclaim_cursor
+    }
+
+    /// Number of slots whose valid bit is set (live + zombie alike).
+    pub fn valid_entries(&self) -> u32 {
+        self.groups.iter().flatten().filter(|p| p.valid).count() as u32
+    }
+
+    /// Number of valid slots whose VSID `is_live` accepts.
+    pub fn live_entries(&self, mut is_live: impl FnMut(Vsid) -> bool) -> u32 {
+        self.groups
+            .iter()
+            .flatten()
+            .filter(|p| p.valid && is_live(p.vsid))
+            .count() as u32
+    }
+
+    /// Fraction of slots with the valid bit set, in `[0, 1]` — the paper's
+    /// "hash table use".
+    pub fn occupancy(&self) -> f64 {
+        self.valid_entries() as f64 / self.capacity() as f64
+    }
+
+    /// Per-PTEG count of valid entries — the §5.2 "hash table miss
+    /// histogram" used to spot hot-spots while tuning the VSID scatter
+    /// constant.
+    pub fn group_histogram(&self) -> Vec<u8> {
+        self.groups
+            .iter()
+            .map(|g| g.iter().filter(|p| p.valid).count() as u8)
+            .collect()
+    }
+
+    /// Number of completely full PTEGs (inserts there must evict).
+    pub fn full_groups(&self) -> u32 {
+        self.groups
+            .iter()
+            .filter(|g| g.iter().all(|p| p.valid))
+            .count() as u32
+    }
+
+    /// Clears the whole table (used at boot and by tests).
+    pub fn clear(&mut self) {
+        for g in &mut self.groups {
+            *g = [Pte::invalid(); PTES_PER_GROUP];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pte(vsid: u32, pi: u32) -> Pte {
+        Pte {
+            valid: true,
+            vsid: Vsid::new(vsid),
+            secondary: false,
+            page_index: pi,
+            rpn: 0x100 + pi,
+            referenced: false,
+            changed: false,
+            cache_inhibited: false,
+            pp: 2,
+        }
+    }
+
+    #[test]
+    fn insert_then_search_finds_it() {
+        let mut h = HashTable::new(256, 0);
+        h.insert(pte(5, 0x123));
+        let out = h.search(Vsid::new(5), 0x123);
+        assert_eq!(out.pte.unwrap().rpn, 0x100 + 0x123);
+        assert_eq!(h.stats().found_primary, 1);
+    }
+
+    #[test]
+    fn miss_probes_both_groups() {
+        let mut h = HashTable::new(256, 0);
+        let out = h.search(Vsid::new(1), 1);
+        assert!(out.pte.is_none());
+        assert_eq!(
+            out.probes, 16,
+            "full search is 16 memory references (paper §7)"
+        );
+    }
+
+    #[test]
+    fn overflow_to_secondary_group() {
+        let mut h = HashTable::new(256, 0);
+        // Nine pages that share a primary PTEG: same vsid, page indexes that
+        // hash identically. hash = vsid_low ^ pi, so pick pi values equal
+        // modulo the group mask (256 groups -> low 8 bits).
+        let vsid = 3;
+        for k in 0..9 {
+            h.insert(pte(vsid, 0x42 + (k << 8)));
+        }
+        // All nine must still be findable; at least one via secondary hash.
+        let mut secondary_found = 0;
+        for k in 0..9 {
+            let out = h.search(Vsid::new(vsid), 0x42 + (k << 8));
+            let found = out.pte.expect("entry must be resident");
+            if found.secondary {
+                secondary_found += 1;
+            }
+        }
+        assert_eq!(secondary_found, 1);
+        assert_eq!(h.stats().found_secondary, 1);
+        assert_eq!(h.stats().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_when_both_groups_full() {
+        let mut h = HashTable::new(256, 0);
+        let vsid = 3;
+        // Fill primary (8) + secondary (8), then one more forces eviction.
+        for k in 0..17 {
+            h.insert(pte(vsid, 0x42 + (k << 8)));
+        }
+        assert_eq!(h.stats().evictions, 1);
+        let last = h.search(Vsid::new(vsid), 0x42 + (16 << 8));
+        assert!(
+            last.pte.is_some(),
+            "newest entry must be resident after eviction"
+        );
+    }
+
+    #[test]
+    fn round_robin_eviction_cycles_slots() {
+        let mut h = HashTable::new(256, 0);
+        let vsid = 3;
+        for k in 0..16 {
+            h.insert(pte(vsid, 0x42 + (k << 8)));
+        }
+        let mut displaced = std::collections::HashSet::new();
+        for k in 16..24 {
+            let out = h.insert(pte(vsid, 0x42 + (k << 8)));
+            displaced.insert(out.location.1);
+        }
+        assert_eq!(displaced.len(), 8, "RR eviction must touch every slot once");
+    }
+
+    #[test]
+    fn invalidate_clears_and_costs_probes() {
+        let mut h = HashTable::new(256, 0);
+        h.insert(pte(9, 0x55));
+        let (_, cleared) = h.invalidate(Vsid::new(9), 0x55);
+        assert!(cleared);
+        assert!(h.search(Vsid::new(9), 0x55).pte.is_none());
+        let (probes, cleared) = h.invalidate(Vsid::new(9), 0x55);
+        assert!(!cleared);
+        assert_eq!(probes, 16);
+    }
+
+    #[test]
+    fn zombie_reclaim_clears_only_dead_vsids() {
+        let mut h = HashTable::new(256, 0);
+        for pi in 0..50 {
+            h.insert(pte(1, pi)); // live
+            h.insert(pte(2, pi)); // zombie-to-be
+        }
+        let before = h.valid_entries();
+        assert_eq!(before, 100);
+        let (_, cleared) = h.reclaim_zombies(256, |v| v == Vsid::new(1));
+        assert_eq!(cleared, 50);
+        assert_eq!(h.valid_entries(), 50);
+        assert_eq!(h.live_entries(|v| v == Vsid::new(1)), 50);
+        // Every surviving entry is VSID 1.
+        for pi in 0..50 {
+            assert!(h.search(Vsid::new(1), pi).pte.is_some());
+            assert!(h.search(Vsid::new(2), pi).pte.is_none());
+        }
+    }
+
+    #[test]
+    fn reclaim_cursor_is_incremental() {
+        let mut h = HashTable::new(256, 0);
+        for pi in 0..2048 {
+            h.insert(pte(2, pi * 7));
+        }
+        let total_zombies = h.valid_entries();
+        let (scanned, c1) = h.reclaim_zombies(128, |_| false);
+        assert_eq!(scanned, 128 * 8);
+        let (_, c2) = h.reclaim_zombies(128, |_| false);
+        assert_eq!(
+            c1 + c2,
+            total_zombies,
+            "two half-scans cover the whole table"
+        );
+    }
+
+    #[test]
+    fn occupancy_and_histogram() {
+        let mut h = HashTable::new(256, 0);
+        assert_eq!(h.occupancy(), 0.0);
+        for pi in 0..256 {
+            h.insert(pte(1, pi));
+        }
+        let hist = h.group_histogram();
+        assert_eq!(hist.len(), 256);
+        assert_eq!(
+            hist.iter().map(|&c| c as u32).sum::<u32>(),
+            h.valid_entries()
+        );
+        assert!((h.occupancy() - 256.0 / 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_pa_is_contiguous() {
+        let h = HashTable::new(256, 0x8_0000);
+        assert_eq!(h.slot_pa(0, 0), 0x8_0000);
+        assert_eq!(h.slot_pa(0, 1), 0x8_0008);
+        assert_eq!(h.slot_pa(1, 0), 0x8_0040);
+    }
+
+    #[test]
+    fn hit_rate_and_evict_ratio() {
+        let mut h = HashTable::new(256, 0);
+        h.insert(pte(1, 1));
+        h.search(Vsid::new(1), 1);
+        h.search(Vsid::new(1), 2);
+        assert!((h.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(h.stats().evict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut h = HashTable::new(256, 0);
+        for pi in 0..32 {
+            h.insert(pte(1, pi));
+        }
+        h.clear();
+        assert_eq!(h.valid_entries(), 0);
+    }
+
+    #[test]
+    fn search_visit_reports_slot_addresses() {
+        let mut h = HashTable::new(256, 0x10_0000);
+        let mut addrs = Vec::new();
+        h.search_with(Vsid::new(7), 0x31, |pa| addrs.push(pa));
+        assert_eq!(addrs.len(), 16);
+        // The first eight probes are consecutive slots of one PTEG.
+        for w in addrs[..8].windows(2) {
+            assert_eq!(w[1] - w[0], PTE_BYTES);
+        }
+        assert!(addrs.iter().all(|&a| a >= 0x10_0000));
+    }
+}

@@ -1,0 +1,410 @@
+//! The translation look-aside buffer.
+
+use crate::addr::Vsid;
+
+/// One TLB entry: a cached virtual → physical translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Segment identifier of the mapping.
+    pub vsid: Vsid,
+    /// 16-bit page index within the segment.
+    pub page_index: u32,
+    /// 20-bit physical page number.
+    pub rpn: u32,
+    /// Whether accesses through this translation are cacheable.
+    pub cached: bool,
+    /// Whether stores are permitted (the PP bits); a store through a
+    /// read-only entry takes a protection fault — the mechanism behind
+    /// copy-on-write.
+    pub writable: bool,
+}
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries in this TLB.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl TlbConfig {
+    /// One side (I or D) of the 603's TLB: 64 entries, 2-way.
+    /// Both sides together give the paper's "128 entries" (§5.1).
+    pub fn ppc603_side() -> Self {
+        Self {
+            entries: 64,
+            ways: 2,
+        }
+    }
+
+    /// One side (I or D) of the 604's TLB: 128 entries, 2-way.
+    /// Both sides together give the paper's "256 entries" (§5.1).
+    pub fn ppc604_side() -> Self {
+        Self {
+            entries: 128,
+            ways: 2,
+        }
+    }
+
+    /// Number of congruence classes (sets).
+    pub fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or a non-power-of-two set count.
+    pub fn validate(&self) {
+        assert!(self.ways > 0 && self.entries > 0, "TLB cannot be empty");
+        assert!(
+            self.entries.is_multiple_of(self.ways),
+            "entries must divide into ways"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
+    }
+}
+
+/// Statistics for one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Reloads (entries inserted after a miss).
+    pub reloads: u64,
+    /// `tlbie` congruence-class invalidations executed.
+    pub tlbie: u64,
+    /// Whole-TLB invalidations.
+    pub flush_all: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in `[0, 1]`; `1.0` with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: Option<TlbEntry>,
+    lru: u64,
+}
+
+/// A set-associative TLB indexed by the low bits of the page index (i.e. by
+/// effective-address bits, as the 603/604 are) and tagged by
+/// `(VSID, page index)`.
+///
+/// The architected `tlbie` instruction invalidates an entire congruence
+/// class — all ways, regardless of VSID — which is what makes per-page
+/// flushing blunt and motivates the paper's lazy VSID-switch flushes (§7).
+///
+/// # Examples
+///
+/// ```
+/// use ppc_mmu::{Tlb, TlbConfig, addr::Vsid};
+/// use ppc_mmu::tlb::TlbEntry;
+///
+/// let mut tlb = Tlb::new(TlbConfig::ppc603_side());
+/// tlb.insert(TlbEntry {
+///     vsid: Vsid::new(1), page_index: 5, rpn: 0x99, cached: true, writable: true,
+/// });
+/// assert!(tlb.lookup(Vsid::new(1), 5).is_some());
+/// assert!(tlb.lookup(Vsid::new(2), 5).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<Slot>>,
+    stats: TlbStats,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn new(cfg: TlbConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            sets: vec![
+                vec![
+                    Slot {
+                        entry: None,
+                        lru: 0
+                    };
+                    cfg.ways as usize
+                ];
+                cfg.sets() as usize
+            ],
+            stats: TlbStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The TLB geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn set_of(&self, page_index: u32) -> usize {
+        (page_index & (self.cfg.sets() - 1)) as usize
+    }
+
+    /// Looks up a translation. Counts a hit or miss.
+    pub fn lookup(&mut self, vsid: Vsid, page_index: u32) -> Option<TlbEntry> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let set = self.set_of(page_index);
+        for slot in &mut self.sets[set] {
+            if let Some(e) = slot.entry {
+                if e.vsid == vsid && e.page_index == page_index {
+                    slot.lru = self.tick;
+                    self.stats.hits += 1;
+                    return Some(e);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts (reloads) a translation, evicting the LRU way of its set.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.tick += 1;
+        self.stats.reloads += 1;
+        let set = self.set_of(entry.page_index);
+        let tick = self.tick;
+        // Reuse an invalid way, else the LRU way.
+        let way = {
+            let slots = &self.sets[set];
+            slots
+                .iter()
+                .position(|s| s.entry.is_none())
+                .unwrap_or_else(|| {
+                    slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.lru)
+                        .map(|(i, _)| i)
+                        .expect("TLB set cannot be empty")
+                })
+        };
+        self.sets[set][way] = Slot {
+            entry: Some(entry),
+            lru: tick,
+        };
+    }
+
+    /// `tlbie`: invalidates the whole congruence class selected by
+    /// `page_index` — every way, every VSID. Returns how many valid entries
+    /// were dropped (including innocent bystanders).
+    pub fn tlbie(&mut self, page_index: u32) -> u32 {
+        self.stats.tlbie += 1;
+        let set = self.set_of(page_index);
+        let mut dropped = 0;
+        for slot in &mut self.sets[set] {
+            if slot.entry.take().is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Invalidates every entry.
+    pub fn flush_all(&mut self) {
+        self.stats.flush_all += 1;
+        for set in &mut self.sets {
+            for slot in set {
+                slot.entry = None;
+            }
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn valid_entries(&self) -> u32 {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|s| s.entry.is_some())
+            .count() as u32
+    }
+
+    /// Number of valid entries whose VSID satisfies `pred` — used to measure
+    /// the kernel's TLB footprint (§5.1: "33% of the TLB entries under
+    /// Linux/PPC were for kernel text, data and I/O pages").
+    pub fn entries_matching(&self, mut pred: impl FnMut(Vsid) -> bool) -> u32 {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|s| s.entry.is_some_and(|e| pred(e.vsid)))
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vsid: u32, pi: u32) -> TlbEntry {
+        TlbEntry {
+            vsid: Vsid::new(vsid),
+            page_index: pi,
+            rpn: 0x1000 + pi,
+            cached: true,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(TlbConfig::ppc603_side().sets(), 32);
+        assert_eq!(TlbConfig::ppc604_side().sets(), 64);
+        TlbConfig::ppc603_side().validate();
+        TlbConfig::ppc604_side().validate();
+    }
+
+    #[test]
+    fn paper_total_entry_counts() {
+        // Paper §5.1: "The PowerPC 603 TLB has 128 entries and the 604 has
+        // 256 entries" (I + D sides combined).
+        assert_eq!(2 * TlbConfig::ppc603_side().entries, 128);
+        assert_eq!(2 * TlbConfig::ppc604_side().entries, 256);
+    }
+
+    #[test]
+    fn miss_then_reload_then_hit() {
+        let mut t = Tlb::new(TlbConfig::ppc603_side());
+        assert!(t.lookup(Vsid::new(1), 7).is_none());
+        t.insert(entry(1, 7));
+        let e = t.lookup(Vsid::new(1), 7).unwrap();
+        assert_eq!(e.rpn, 0x1007);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().reloads, 1);
+    }
+
+    #[test]
+    fn same_page_different_vsid_misses() {
+        // Distinct VSIDs are distinct address spaces (the lazy-flush
+        // cornerstone): a stale entry under an old VSID can never match.
+        let mut t = Tlb::new(TlbConfig::ppc603_side());
+        t.insert(entry(1, 7));
+        assert!(t.lookup(Vsid::new(2), 7).is_none());
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+        });
+        // Set = pi & 1. Three entries in set 0.
+        t.insert(entry(1, 0));
+        t.insert(entry(1, 2));
+        t.lookup(Vsid::new(1), 0); // make pi=0 MRU
+        t.insert(entry(1, 4)); // evicts pi=2
+        assert!(t.lookup(Vsid::new(1), 0).is_some());
+        assert!(t.lookup(Vsid::new(1), 2).is_none());
+        assert!(t.lookup(Vsid::new(1), 4).is_some());
+    }
+
+    #[test]
+    fn tlbie_kills_whole_congruence_class() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+        });
+        t.insert(entry(1, 0));
+        t.insert(entry(2, 2)); // same set (pi even), different VSID
+        t.insert(entry(1, 1)); // other set
+        let dropped = t.tlbie(4); // set 0
+        assert_eq!(dropped, 2, "tlbie drops bystanders in the class too");
+        assert!(t.lookup(Vsid::new(1), 1).is_some());
+        assert_eq!(t.stats().tlbie, 1);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = Tlb::new(TlbConfig::ppc604_side());
+        for pi in 0..50 {
+            t.insert(entry(1, pi));
+        }
+        assert_eq!(t.valid_entries(), 50);
+        t.flush_all();
+        assert_eq!(t.valid_entries(), 0);
+        assert_eq!(t.stats().flush_all, 1);
+    }
+
+    #[test]
+    fn entries_matching_counts_kernel_footprint() {
+        let mut t = Tlb::new(TlbConfig::ppc604_side());
+        let kernel = Vsid::new(0xfffff);
+        for pi in 0..30 {
+            t.insert(entry(1, pi));
+        }
+        for pi in 30..40 {
+            t.insert(TlbEntry {
+                vsid: kernel,
+                page_index: pi,
+                rpn: 0,
+                cached: true,
+                writable: true,
+            });
+        }
+        assert_eq!(t.entries_matching(|v| v == kernel), 10);
+        assert_eq!(t.entries_matching(|v| v != kernel), 30);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut t = Tlb::new(TlbConfig::ppc603_side());
+        t.insert(entry(1, 1));
+        t.lookup(Vsid::new(1), 1);
+        t.lookup(Vsid::new(1), 2);
+        assert!((t.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+        });
+        t.insert(entry(1, 0));
+        t.insert(entry(1, 2));
+        assert_eq!(
+            t.valid_entries(),
+            2,
+            "both ways of set 0 in use, no eviction"
+        );
+        assert!(t.lookup(Vsid::new(1), 0).is_some());
+        assert!(t.lookup(Vsid::new(1), 2).is_some());
+    }
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the reproduction of *Optimizing the Idle Task and
+//! Other MMU Tricks* (Dougan, Mackerras, Yodaiken; OSDI 1999).
+//!
+//! This crate re-exports the whole workspace so the examples and integration
+//! tests have a single dependency. The layering, bottom-up:
+//!
+//! * [`ppc_cache`] — L1/L2 caches, memory bus, cache-inhibited access.
+//! * [`ppc_mmu`] — segments, VSIDs, BATs, TLBs, the hashed page table.
+//! * [`ppc_machine`] — machine configurations and cycle accounting.
+//! * [`kernel_sim`] — the simulated Linux/PPC kernel with every paper
+//!   optimization as a policy toggle.
+//! * [`lmbench`] — the benchmark workloads the paper measures with.
+//! * [`mmu_tricks`] — experiment runners for every table and figure.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the experiment
+//! index.
+
+pub use kernel_sim;
+pub use lmbench;
+pub use mmu_tricks;
+pub use ppc_cache;
+pub use ppc_machine;
+pub use ppc_mmu;

@@ -1,0 +1,155 @@
+//! Integration: the paper's quantitative claims, asserted as directions and
+//! rough factors on the real experiment runners (quick depth).
+
+use mmu_tricks_repro::mmu_tricks::experiments as ex;
+use mmu_tricks_repro::mmu_tricks::Depth;
+
+#[test]
+fn table2_mmap_headline_factor() {
+    // Paper: 3240 µs → 41 µs (80×) on the 603, 2733 µs → 33 µs on the 604.
+    let (cols, _) = ex::table2(Depth::Quick);
+    let eager_603 = cols[0].results.mmap_lat_us;
+    let lazy_603 = cols[1].results.mmap_lat_us;
+    assert!(
+        eager_603 / lazy_603 > 20.0,
+        "603 mmap ratio {:.0}x must be dramatic (paper: 80x)",
+        eager_603 / lazy_603
+    );
+    assert!(
+        eager_603 > 1000.0,
+        "eager 603 lat {eager_603:.0} µs should be ms-scale"
+    );
+    assert!(
+        lazy_603 < 200.0,
+        "lazy 603 lat {lazy_603:.0} µs should be tens of µs"
+    );
+}
+
+#[test]
+fn table3_full_ordering() {
+    let (cols, _) = ex::table3(Depth::Quick);
+    let names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names[0], "Linux/PPC");
+    // Optimized Linux/PPC wins every latency row against every other OS.
+    for other in &cols[1..] {
+        assert!(cols[0].results.null_syscall_us < other.results.null_syscall_us);
+        assert!(cols[0].results.ctxsw2_us < other.results.ctxsw2_us);
+        assert!(cols[0].results.pipe_lat_us < other.results.pipe_lat_us);
+        assert!(cols[0].results.pipe_bw_mbs > other.results.pipe_bw_mbs);
+    }
+    // The paper's "10 to 120 times faster than ... MkLinux" claim, on the
+    // most kernel-crossing-bound row.
+    let mklinux = &cols[3].results;
+    assert!(
+        mklinux.null_syscall_us / cols[0].results.null_syscall_us > 8.0,
+        "MkLinux null syscall must be ~10x+ slower"
+    );
+    // Mach pipe bandwidth collapses (paper: 9–15 MB/s vs 52).
+    assert!(cols[0].results.pipe_bw_mbs / cols[2].results.pipe_bw_mbs > 3.0);
+}
+
+#[test]
+fn bat_experiment_directions() {
+    let (r, _) = ex::exp_bat(Depth::Quick);
+    assert!(
+        r.tlb_misses_bat < r.tlb_misses_nobat,
+        "BATs reduce TLB misses"
+    );
+    assert!(
+        r.htab_misses_bat <= r.htab_misses_nobat,
+        "BATs reduce htab misses"
+    );
+    assert!(r.wall_ms_bat < r.wall_ms_nobat, "BATs reduce compile time");
+    assert!(
+        r.kernel_tlb_frac_nobat > 0.05,
+        "PTE-mapped kernel occupies real TLB share (got {:.0}%)",
+        r.kernel_tlb_frac_nobat * 100.0
+    );
+    assert!(
+        r.kernel_tlb_hwm_bat <= 4,
+        "paper: high water of 4 kernel entries"
+    );
+}
+
+#[test]
+fn fast_reload_experiment_directions() {
+    let (r, _) = ex::exp_fast_reload(Depth::Quick);
+    let ctx = (r.ctxsw_slow_us - r.ctxsw_fast_us) / r.ctxsw_slow_us;
+    let pipe = (r.pipe_slow_us - r.pipe_fast_us) / r.pipe_slow_us;
+    let user = (r.user_slow_ms - r.user_fast_ms) / r.user_slow_ms;
+    assert!(ctx > 0.15, "ctxsw gain {ctx:.2} (paper: 0.33)");
+    assert!(pipe > 0.05, "pipe gain {pipe:.2} (paper: 0.15)");
+    assert!(user > 0.05, "user gain {user:.2} (paper: 0.15)");
+}
+
+#[test]
+fn mmap_cutoff_sweep_shape() {
+    let (points, _) = ex::exp_mmap_cutoff(Depth::Quick);
+    // Cutoffs below the 64-page sweep size take the cheap bump; per-page
+    // always and cutoffs >= 64 pay the per-page search.
+    let lat_of = |cut: Option<u32>| {
+        points
+            .iter()
+            .find(|p| p.cutoff == cut)
+            .expect("sweep point")
+            .mmap_lat_us
+    };
+    assert!(lat_of(Some(20)) < lat_of(None), "cutoff 20 beats per-page");
+    assert!(
+        lat_of(Some(20)) < lat_of(Some(100)),
+        "cutoff past the size is per-page"
+    );
+    // "at no cost to the TLB hit rate": flat within a point.
+    let hit_min = points
+        .iter()
+        .map(|p| p.tlb_hit_rate)
+        .fold(f64::MAX, f64::min);
+    let hit_max = points.iter().map(|p| p.tlb_hit_rate).fold(0.0, f64::max);
+    assert!(
+        hit_max - hit_min < 0.02,
+        "TLB hit rate must be flat across cutoffs ({hit_min:.3}..{hit_max:.3})"
+    );
+}
+
+#[test]
+fn page_clear_experiment_directions() {
+    let (rows, _) = ex::exp_page_clear(Depth::Quick);
+    let on_demand = rows[0].wall_ms;
+    let idle_cached = rows[1].wall_ms;
+    let no_list = rows[2].wall_ms;
+    let idle_uncached = rows[3].wall_ms;
+    assert!(
+        idle_cached > on_demand,
+        "cached idle clearing slows the compile"
+    );
+    assert!(
+        idle_uncached < on_demand,
+        "uncached + list speeds the compile"
+    );
+    assert!(
+        (no_list - on_demand).abs() / on_demand < 0.05,
+        "uncached clearing without the list is performance-neutral (paper: 'no performance loss or gain')"
+    );
+}
+
+#[test]
+fn cache_pollution_analysis() {
+    let (r, _) = ex::exp_cache_pollution(Depth::Quick);
+    assert!(
+        (28..=40).contains(&r.fill_memory_accesses),
+        "worst-case fill accesses {} near the paper's 34",
+        r.fill_memory_accesses
+    );
+    assert!(
+        r.compile_misses_uncached_pt < r.compile_misses_cached_pt,
+        "uncached page tables must reduce D-cache misses"
+    );
+}
+
+#[test]
+fn figure1_walkthrough_is_complete() {
+    let s = ex::translation_walkthrough(0xc012_3456, 0xffff0c, 0x00123);
+    for needle in ["SR#c", "VSID", "primary PTEG", "physical address"] {
+        assert!(s.contains(needle), "missing {needle} in:\n{s}");
+    }
+}

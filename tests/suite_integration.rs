@@ -1,0 +1,110 @@
+//! Integration: the LmBench suite across machines and kernels, asserting
+//! the cross-crate relations the paper's tables rest on.
+
+use mmu_tricks_repro::kernel_sim::{Kernel, KernelConfig};
+use mmu_tricks_repro::lmbench::report::{run_suite, SuiteConfig};
+use mmu_tricks_repro::lmbench::{bw, lat};
+use mmu_tricks_repro::ppc_machine::MachineConfig;
+
+#[test]
+fn faster_machines_are_faster_across_the_suite() {
+    let slow = run_suite(
+        MachineConfig::ppc604_133(),
+        KernelConfig::optimized(),
+        SuiteConfig::quick(),
+    );
+    let fast = run_suite(
+        MachineConfig::ppc604_200(),
+        KernelConfig::optimized(),
+        SuiteConfig::quick(),
+    );
+    assert!(fast.null_syscall_us < slow.null_syscall_us);
+    assert!(fast.pipe_lat_us < slow.pipe_lat_us);
+    assert!(fast.pipe_bw_mbs > slow.pipe_bw_mbs);
+    assert!(fast.file_reread_mbs > slow.file_reread_mbs);
+    assert!(fast.mmap_lat_us < slow.mmap_lat_us);
+}
+
+#[test]
+fn the_604_beats_the_603_at_similar_clock() {
+    // Table 1's machine ordering: hardware reloads + double-size caches win.
+    let m603 = run_suite(
+        MachineConfig::ppc603_180(),
+        KernelConfig::optimized(),
+        SuiteConfig::quick(),
+    );
+    let m604 = run_suite(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        SuiteConfig::quick(),
+    );
+    assert!(m604.pipe_bw_mbs > m603.pipe_bw_mbs);
+    assert!(m604.ctxsw2_us < m603.ctxsw2_us);
+}
+
+#[test]
+fn no_htab_lets_the_603_close_on_the_604() {
+    // §6.2's headline: "we make a 180MHz 603 keep pace with a 185MHz 604".
+    // The no-htab 603 must be at least as fast as the htab-emulating 603.
+    let with_htab = KernelConfig {
+        htab_on_603: true,
+        ..KernelConfig::optimized()
+    };
+    let mut k_htab = Kernel::boot(MachineConfig::ppc603_180(), with_htab);
+    let mut k_direct = Kernel::boot(MachineConfig::ppc603_180(), KernelConfig::optimized());
+    let p_htab = lat::process_start(&mut k_htab, 4);
+    let p_direct = lat::process_start(&mut k_direct, 4);
+    assert!(
+        p_direct <= p_htab * 1.02,
+        "direct reloads ({p_direct:.2} ms) must not lose to htab emulation ({p_htab:.2} ms)"
+    );
+}
+
+#[test]
+fn pipe_bandwidth_exceeds_file_reread() {
+    // The paper's tables consistently show pipe bw > file reread: the pipe's
+    // working set lives in the board L2 while a big file streams from DRAM.
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let pipe = bw::pipe_bandwidth(&mut k);
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
+    let file = bw::file_reread(&mut k);
+    assert!(
+        pipe > file,
+        "pipe bw ({pipe:.0} MB/s) must beat file reread ({file:.0} MB/s)"
+    );
+}
+
+#[test]
+fn every_optimization_off_vs_on_is_a_clean_sweep() {
+    let unopt = run_suite(
+        MachineConfig::ppc604_133(),
+        KernelConfig::unoptimized(),
+        SuiteConfig::quick(),
+    );
+    let opt = run_suite(
+        MachineConfig::ppc604_133(),
+        KernelConfig::optimized(),
+        SuiteConfig::quick(),
+    );
+    assert!(opt.null_syscall_us < unopt.null_syscall_us);
+    assert!(opt.ctxsw2_us < unopt.ctxsw2_us);
+    assert!(opt.ctxsw8_us < unopt.ctxsw8_us);
+    assert!(opt.pipe_lat_us < unopt.pipe_lat_us);
+    assert!(opt.pipe_bw_mbs > unopt.pipe_bw_mbs);
+    assert!(opt.file_reread_mbs > unopt.file_reread_mbs);
+    assert!(opt.mmap_lat_us < unopt.mmap_lat_us);
+    assert!(opt.pstart_ms < unopt.pstart_ms);
+    // And by the orders of magnitude the paper claims for the headline rows.
+    assert!(unopt.null_syscall_us / opt.null_syscall_us > 4.0);
+    assert!(unopt.mmap_lat_us / opt.mmap_lat_us > 20.0);
+}
+
+#[test]
+fn extended_kernel_still_passes_the_suite() {
+    let r = run_suite(
+        MachineConfig::ppc604_185(),
+        KernelConfig::extended(),
+        SuiteConfig::quick(),
+    );
+    assert!(r.null_syscall_us > 0.0 && r.pipe_bw_mbs > 0.0 && r.pstart_ms > 0.0);
+}
