@@ -106,15 +106,15 @@ fn bench_kernel_paths(c: &mut Criterion) {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(4).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
+        k.prefault(USER_BASE, 4).unwrap();
         b.iter(|| k.sys_null());
     });
     g.bench_function("warm_data_ref", |b| {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(4).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
-        b.iter(|| k.data_ref(EffectiveAddress(USER_BASE), false));
+        k.prefault(USER_BASE, 4).unwrap();
+        b.iter(|| k.data_ref(EffectiveAddress(USER_BASE), false).unwrap());
     });
     g.bench_function("fault_and_unmap_page", |b| {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
@@ -122,7 +122,7 @@ fn bench_kernel_paths(c: &mut Criterion) {
         k.switch_to(pid);
         b.iter(|| {
             let addr = k.sys_mmap(None, PAGE_SIZE);
-            k.data_ref(EffectiveAddress(addr), true);
+            k.data_ref(EffectiveAddress(addr), true).unwrap();
             k.sys_munmap(addr, PAGE_SIZE);
         });
     });
@@ -140,11 +140,11 @@ fn bench_kernel_paths(c: &mut Criterion) {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
-        let p = k.pipe_create();
+        k.prefault(USER_BASE, 4).unwrap();
+        let p = k.pipe_create().unwrap();
         b.iter(|| {
-            k.pipe_write(p, USER_BASE, PAGE_SIZE);
-            k.pipe_read(p, USER_BASE, PAGE_SIZE);
+            k.pipe_write(p, USER_BASE, PAGE_SIZE).unwrap();
+            k.pipe_read(p, USER_BASE, PAGE_SIZE).unwrap();
         });
     });
     g.bench_function("idle_quantum", |b| {
@@ -163,7 +163,7 @@ fn bench_process_and_signals(c: &mut Criterion) {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let parent = k.spawn_process(16).unwrap();
         k.switch_to(parent);
-        k.prefault(USER_BASE, 16);
+        k.prefault(USER_BASE, 16).unwrap();
         b.iter(|| {
             let child = k.sys_fork().expect("fork");
             k.switch_to(child);
@@ -175,17 +175,18 @@ fn bench_process_and_signals(c: &mut Criterion) {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let parent = k.spawn_process(16).unwrap();
         k.switch_to(parent);
-        k.prefault(USER_BASE, 16);
+        k.prefault(USER_BASE, 16).unwrap();
         let mut page = 0u32;
         b.iter(|| {
             // Re-fork periodically so there is always a COW page to break.
-            if page % 16 == 0 {
+            if page.is_multiple_of(16) {
                 let child = k.sys_fork().expect("fork");
                 k.switch_to(child);
                 k.exit_current();
                 k.switch_to(parent);
             }
-            k.data_ref(EffectiveAddress(USER_BASE + (page % 16) * PAGE_SIZE), true);
+            k.data_ref(EffectiveAddress(USER_BASE + (page % 16) * PAGE_SIZE), true)
+                .unwrap();
             page += 1;
         });
     });
@@ -193,9 +194,9 @@ fn bench_process_and_signals(c: &mut Criterion) {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
+        k.prefault(USER_BASE, 4).unwrap();
         k.sys_signal_install();
-        b.iter(|| k.signal_roundtrip(USER_BASE));
+        b.iter(|| k.signal_roundtrip(USER_BASE).unwrap());
     });
     g.bench_function("multiuser_round", |b| {
         use lmbench::multiuser::{classic_mix, run_multiuser};

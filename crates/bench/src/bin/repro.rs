@@ -113,6 +113,7 @@ fn run(id: &str, depth: Depth, markdown: Style) {
         "ablate-replacement" => emit(&ex::ablate_replacement(depth).1, markdown),
         "lmbench-extended" => emit(&ex::extended_suite(depth).1, markdown),
         "multiuser" => emit(&ex::exp_multiuser(depth).1, markdown),
+        "pressure" => emit(&ex::exp_pressure(depth).1, markdown),
         other => unreachable!("unknown experiment {other}"),
     }
 }

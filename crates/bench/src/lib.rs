@@ -86,6 +86,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "multiuser",
         "Multiuser mix (compile+edit+mail): the cumulative build-up",
     ),
+    (
+        "pressure",
+        "E-PRESSURE: fault storm (SIGSEGV/SIGBUS/OOM/injection) survival",
+    ),
 ];
 
 #[cfg(test)]

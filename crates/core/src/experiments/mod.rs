@@ -20,6 +20,7 @@
 //! | E-CLEAR | [`cache::exp_page_clear`] |
 //! | T3 | [`paper_tables::table3`] |
 //! | §10 extensions | [`cache::exp_extensions`] |
+//! | E-PRESSURE | [`pressure::exp_pressure`] |
 
 pub mod ablate;
 pub mod cache;
@@ -29,6 +30,7 @@ pub mod iobat;
 pub mod multiuser;
 pub mod narrative;
 pub mod paper_tables;
+pub mod pressure;
 pub mod trace;
 
 pub use ablate::{
@@ -43,4 +45,5 @@ pub use narrative::{
     exp_bat, exp_fast_reload, exp_hash_util, exp_idle_reclaim, exp_lazy, exp_mmap_cutoff,
 };
 pub use paper_tables::{table1, table2, table3};
+pub use pressure::{exp_pressure, run_pressure};
 pub use trace::{memory_hierarchy, trace_compile};

@@ -1,0 +1,95 @@
+//! In-model kernel faults.
+//!
+//! The paper's kernel survives conditions this simulation used to
+//! host-panic on: a bad user access delivers SIGSEGV, memory pressure runs
+//! reclaim and (at the limit) the OOM killer, and hash-table overflow
+//! evicts rather than aborts. [`KernelError`] is the in-model fault channel:
+//! every path a user-shaped workload can drive returns
+//! [`KResult`], and an `Err` means *the simulated kernel handled a fault*
+//! (and charged its real costs), not that the simulator broke.
+//!
+//! Host panics remain only for genuine simulator invariant violations
+//! (overlapping VMA insertion by a harness, translation non-convergence,
+//! boot-time pool exhaustion) — see the "Fault model" section of DESIGN.md
+//! and `tools/panic_audit.sh`.
+
+/// The fatal signals the simulated kernel delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Access outside every VMA, or a true write-protection violation.
+    Segv,
+    /// Access through a file mapping past end of file.
+    Bus,
+    /// The OOM killer's uncatchable kill.
+    Kill,
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Signal::Segv => "SIGSEGV",
+            Signal::Bus => "SIGBUS",
+            Signal::Kill => "SIGKILL",
+        })
+    }
+}
+
+/// An in-model kernel fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// The current task received a fatal signal and was torn down. The
+    /// kernel has already charged delivery costs, freed the task's memory,
+    /// and switched to the next runnable task (if any). Callers driving the
+    /// dead task must stop issuing work on its behalf.
+    Fatal {
+        /// Which signal was delivered.
+        signal: Signal,
+        /// The faulting effective address (0 when not address-driven).
+        ea: u32,
+    },
+    /// `ENOMEM`: the operation could not get memory even after reclaim. The
+    /// calling task is still alive; the syscall failed cleanly.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Fatal { signal, ea } => {
+                write!(f, "task killed by {signal} at ea {ea:#x}")
+            }
+            KernelError::OutOfMemory => f.write_str("out of memory (ENOMEM)"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl KernelError {
+    /// Whether this error killed the current task.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, KernelError::Fatal { .. })
+    }
+}
+
+/// Result of every fallible kernel path.
+pub type KResult<T> = Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_signals() {
+        let e = KernelError::Fatal {
+            signal: Signal::Segv,
+            ea: 0x1234,
+        };
+        assert!(e.to_string().contains("SIGSEGV"));
+        assert!(e.to_string().contains("0x1234"));
+        assert!(e.is_fatal());
+        assert!(!KernelError::OutOfMemory.is_fatal());
+        assert_eq!(Signal::Bus.to_string(), "SIGBUS");
+        assert_eq!(Signal::Kill.to_string(), "SIGKILL");
+    }
+}

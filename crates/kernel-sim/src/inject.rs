@@ -1,0 +1,153 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Real kernels are hardened by running under adversity; the simulator
+//! gains the same leverage by *injecting* the three fault families the
+//! paper's mechanisms exist to absorb:
+//!
+//! * **allocation failures** — `get_free_page()` behaves as if the free
+//!   list were empty, forcing the memory-pressure path (pre-cleared-list
+//!   drain, zombie reclaim, page-cache eviction, OOM killer),
+//! * **hash-table insertion overflow** — a reload skips the hash-table
+//!   insert as if both PTEGs were full, so the next miss re-walks the
+//!   Linux page tables (the overflow cost, §7),
+//! * **TLB-reload faults** — a hash-table lookup is forced to miss,
+//!   charging the full Linux page-table walk.
+//!
+//! Injection is a pure function of the seed and the sequence of decision
+//! points, so two runs with the same seed and workload produce
+//! *bit-identical* statistics — a property the test suite asserts.
+
+/// Injection configuration: per-decision fault probabilities, expressed as
+/// numerators over 2^16 (0 = never, 65535 ≈ always). Lives in
+/// [`crate::KernelConfig::fault_injection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// RNG seed. Same seed + same workload = bit-identical stats.
+    pub seed: u64,
+    /// Probability (over 2^16) that an allocation must take the pressure
+    /// path even though the free list has frames.
+    pub alloc_fail_per_64k: u16,
+    /// Probability (over 2^16) that a hash-table insert is treated as an
+    /// overflow (entry goes to the TLB only).
+    pub htab_overflow_per_64k: u16,
+    /// Probability (over 2^16) that a hash-table lookup during TLB reload
+    /// is forced to miss.
+    pub tlb_fault_per_64k: u16,
+}
+
+impl FaultInjection {
+    /// Mild background adversity: roughly 1 in 64 allocations, inserts and
+    /// lookups fault.
+    pub fn light(seed: u64) -> Self {
+        Self {
+            seed,
+            alloc_fail_per_64k: 1024,
+            htab_overflow_per_64k: 1024,
+            tlb_fault_per_64k: 1024,
+        }
+    }
+
+    /// Heavy adversity: roughly 1 in 8 decisions fault.
+    pub fn heavy(seed: u64) -> Self {
+        Self {
+            seed,
+            alloc_fail_per_64k: 8192,
+            htab_overflow_per_64k: 8192,
+            tlb_fault_per_64k: 8192,
+        }
+    }
+}
+
+/// The runtime injector state (xorshift64*, seeded via SplitMix64).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultInjection,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a configuration.
+    pub fn new(cfg: FaultInjection) -> Self {
+        let mut z = cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Self {
+            cfg,
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn roll(&mut self, rate: u16) -> bool {
+        // Always advance the stream so the decision *sequence* (not just the
+        // outcomes) is identical across configs with different rates.
+        let r = self.next_u64() & 0xffff;
+        rate != 0 && r < rate as u64
+    }
+
+    /// Should this allocation be forced onto the pressure path?
+    pub fn roll_alloc_fail(&mut self) -> bool {
+        let rate = self.cfg.alloc_fail_per_64k;
+        self.roll(rate)
+    }
+
+    /// Should this hash-table insert be treated as an overflow?
+    pub fn roll_htab_overflow(&mut self) -> bool {
+        let rate = self.cfg.htab_overflow_per_64k;
+        self.roll(rate)
+    }
+
+    /// Should this hash-table lookup be forced to miss?
+    pub fn roll_tlb_fault(&mut self) -> bool {
+        let rate = self.cfg.tlb_fault_per_64k;
+        self.roll(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultInjector::new(FaultInjection::light(42));
+        let mut b = FaultInjector::new(FaultInjection::light(42));
+        for _ in 0..10_000 {
+            assert_eq!(a.roll_alloc_fail(), b.roll_alloc_fail());
+            assert_eq!(a.roll_htab_overflow(), b.roll_htab_overflow());
+            assert_eq!(a.roll_tlb_fault(), b.roll_tlb_fault());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(FaultInjection::heavy(1));
+        let mut b = FaultInjector::new(FaultInjection::heavy(2));
+        let fa: Vec<bool> = (0..512).map(|_| a.roll_alloc_fail()).collect();
+        let fb: Vec<bool> = (0..512).map(|_| b.roll_alloc_fail()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let mut i = FaultInjector::new(FaultInjection {
+            seed: 7,
+            alloc_fail_per_64k: 16384, // 1 in 4
+            htab_overflow_per_64k: 0,
+            tlb_fault_per_64k: 65535,
+        });
+        let n = 100_000;
+        let hits = (0..n).filter(|_| i.roll_alloc_fail()).count();
+        assert!((n / 5..n / 3).contains(&hits), "got {hits}/{n}");
+        assert!(!(0..1000).any(|_| i.roll_htab_overflow()), "rate 0 never fires");
+        assert!((0..1000).all(|_| i.roll_tlb_fault()), "rate 65535 ~always fires");
+    }
+}

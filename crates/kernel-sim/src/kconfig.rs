@@ -130,6 +130,9 @@ pub struct KernelConfig {
     /// Software cache preloads in context-switch and interrupt entry code
     /// (§10.2 future work).
     pub cache_preloads: bool,
+    /// Seeded fault injection (allocation failures, hash-table overflow,
+    /// forced TLB-reload misses). `None` disables injection entirely.
+    pub fault_injection: Option<crate::inject::FaultInjection>,
 }
 
 impl KernelConfig {
@@ -153,6 +156,7 @@ impl KernelConfig {
             linux_pt_cached: true,
             idle_cache_lock: false,
             cache_preloads: false,
+            fault_injection: None,
         }
     }
 
@@ -174,6 +178,7 @@ impl KernelConfig {
             linux_pt_cached: true,
             idle_cache_lock: false,
             cache_preloads: false,
+            fault_injection: None,
         }
     }
 

@@ -6,7 +6,9 @@ use ppc_mmu::bat::BatEntry;
 use ppc_mmu::htab::HashTable;
 use ppc_mmu::translate::{AccessType, Translation};
 
+use crate::errors::KResult;
 use crate::fs::File;
+use crate::inject::FaultInjector;
 use crate::kconfig::{HandlerStyle, KernelConfig};
 use crate::layout::{
     self, is_io, is_kernel_linear, is_user, pa_to_kva, HTAB_GROUPS, HTAB_PA, IO_BYTES,
@@ -160,6 +162,12 @@ pub struct Kernel {
     /// Reference counts for frames shared copy-on-write between address
     /// spaces (absent = exclusively owned).
     pub(crate) shared_frames: std::collections::HashMap<PhysAddr, u32>,
+    /// Mapping counts for page-cache frames currently mapped into some
+    /// address space (absent = unmapped, hence evictable under pressure).
+    pub(crate) file_map_refs: std::collections::HashMap<PhysAddr, u32>,
+    /// The seeded fault injector, when [`KernelConfig::fault_injection`] is
+    /// set.
+    pub(crate) injector: Option<FaultInjector>,
 }
 
 impl Kernel {
@@ -223,6 +231,8 @@ impl Kernel {
             in_reload: false,
             reclaim_scan_credit: 0,
             shared_frames: std::collections::HashMap::new(),
+            file_map_refs: std::collections::HashMap::new(),
+            injector: cfg.fault_injection.map(FaultInjector::new),
         }
     }
 
@@ -271,10 +281,17 @@ impl Kernel {
 
     /// Translates `ea`, servicing TLB misses and page faults, and returns
     /// `(physical address, cacheable)`. This is the load/store pipeline.
-    pub fn translate_ref(&mut self, ea: EffectiveAddress, at: AccessType) -> (PhysAddr, bool) {
+    /// Fails when the fault path killed the task (SIGSEGV, SIGBUS, the OOM
+    /// killer) or could not get memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if translation does not converge — a successfully serviced
+    /// fault or reload must make the retry hit (simulator invariant).
+    pub fn translate_ref(&mut self, ea: EffectiveAddress, at: AccessType) -> KResult<(PhysAddr, bool)> {
         for _ in 0..8 {
             match self.machine.mmu.translate(ea, at) {
-                Translation::Bat { pa, cached } => return (pa, cached),
+                Translation::Bat { pa, cached } => return Ok((pa, cached)),
                 Translation::TlbHit {
                     pa,
                     cached,
@@ -283,14 +300,14 @@ impl Kernel {
                     if at == AccessType::DataWrite && !writable {
                         // Store through a read-only translation: the
                         // protection fault that drives copy-on-write.
-                        self.protection_fault(ea);
+                        self.protection_fault(ea)?;
                         continue;
                     }
-                    return (pa, cached);
+                    return Ok((pa, cached));
                 }
                 Translation::TlbMiss { va } => {
                     if !self.tlb_reload(ea, va, at) {
-                        self.page_fault(ea, at);
+                        self.page_fault(ea, at)?;
                     }
                 }
             }
@@ -299,42 +316,45 @@ impl Kernel {
     }
 
     /// One user/kernel data reference (a load or store of one word).
-    pub fn data_ref(&mut self, ea: EffectiveAddress, write: bool) -> Cycles {
+    pub fn data_ref(&mut self, ea: EffectiveAddress, write: bool) -> KResult<Cycles> {
         let at = if write {
             AccessType::DataWrite
         } else {
             AccessType::DataRead
         };
-        let (pa, cached) = self.translate_ref(ea, at);
+        let (pa, cached) = self.translate_ref(ea, at)?;
         // One cycle of pipeline work for the instruction itself.
         self.machine.charge(1);
-        1 + if write {
+        Ok(1 + if write {
             self.machine.data_write_pa(pa, cached)
         } else {
             self.machine.data_read_pa(pa, cached)
-        }
+        })
     }
 
     /// Executes `n_insns` straight-line instructions starting at `ea`,
     /// translating page by page and fetching line by line.
-    pub fn exec_code(&mut self, ea: EffectiveAddress, n_insns: u32) -> Cycles {
+    pub fn exec_code(&mut self, ea: EffectiveAddress, n_insns: u32) -> KResult<Cycles> {
         let start = self.machine.cycles;
         let mut remaining = n_insns;
         let mut addr = ea.0;
         while remaining > 0 {
             let page_end = (addr & !(PAGE_SIZE - 1)) + PAGE_SIZE;
             let insns_here = remaining.min((page_end - addr) / 4);
-            let (pa, cached) = self.translate_ref(EffectiveAddress(addr), AccessType::InsnFetch);
+            let (pa, cached) = self.translate_ref(EffectiveAddress(addr), AccessType::InsnFetch)?;
             self.machine.exec_code_pa(pa, insns_here, cached);
             addr = page_end;
             remaining -= insns_here;
         }
-        self.machine.cycles - start
+        Ok(self.machine.cycles - start)
     }
 
-    /// A kernel data reference through the linear map.
+    /// A kernel data reference through the linear map. Infallible: the
+    /// linear map is definitionally valid, kernel structures are never
+    /// paged, and the injector never fails kernel-side reloads into a fault.
     pub fn kdata_ref(&mut self, pa: PhysAddr, write: bool) -> Cycles {
         self.data_ref(pa_to_kva(pa), write)
+            .expect("kernel linear-map access cannot fault")
     }
 
     /// Touches the `mem_map` entry (`struct page`) for the frame holding
@@ -386,7 +406,9 @@ impl Kernel {
             // just fetched; only a quarter advances through fresh text. The
             // I-cache (not this model) decides whether the fresh lines hit.
             let fresh = (chunk / 4).max(chunk.min(16));
-            fetched += self.exec_code(ea, fresh);
+            fetched += self
+                .exec_code(ea, fresh)
+                .expect("kernel text access cannot fault");
             self.machine.charge((chunk - fresh) as Cycles);
             remaining -= chunk;
             chunk_idx += 1;
@@ -396,24 +418,25 @@ impl Kernel {
 
     /// User data accesses: `len` bytes starting at `ea` (read or write), one
     /// reference per 32-byte line, as a user-mode copy loop would generate.
-    pub fn user_access(&mut self, ea: u32, len: u32, write: bool) -> Cycles {
+    /// An access outside the task's VMAs kills it (SIGSEGV) and fails.
+    pub fn user_access(&mut self, ea: u32, len: u32, write: bool) -> KResult<Cycles> {
         let start = self.machine.cycles;
         let line = 32;
         let mut off = 0;
         while off < len {
-            self.data_ref(EffectiveAddress(ea + off), write);
+            self.data_ref(EffectiveAddress(ea + off), write)?;
             off += line;
         }
-        self.machine.cycles - start
+        Ok(self.machine.cycles - start)
     }
 
     /// Convenience: write `len` bytes of user memory at `ea`.
-    pub fn user_write(&mut self, ea: u32, len: u32) -> Cycles {
+    pub fn user_write(&mut self, ea: u32, len: u32) -> KResult<Cycles> {
         self.user_access(ea, len, true)
     }
 
     /// Convenience: read `len` bytes of user memory at `ea`.
-    pub fn user_read(&mut self, ea: u32, len: u32) -> Cycles {
+    pub fn user_read(&mut self, ea: u32, len: u32) -> KResult<Cycles> {
         self.user_access(ea, len, false)
     }
 
@@ -504,6 +527,12 @@ impl Kernel {
     /// Searches the hash table and reloads the TLB on a hit. Probe traffic
     /// is charged through the data cache (or uncached, per §8's experiment).
     fn htab_lookup_reload(&mut self, va: VirtualAddress, at: AccessType) -> bool {
+        if self.roll_injected_tlb_fault() {
+            // Injected reload fault: the lookup is forced to miss, so the
+            // reload falls back to the full Linux page-table walk.
+            self.stats.htab_misses += 1;
+            return false;
+        }
         let cached = self.cfg.htab_cached;
         let mut probe_cycles: Cycles = 0;
         let machine = &mut self.machine;
@@ -659,6 +688,15 @@ impl Kernel {
         at: AccessType,
         insert_htab: bool,
     ) -> bool {
+        // An injected overflow behaves as if both candidate PTEGs were full:
+        // the translation reaches the TLB but not the hash table, so the
+        // next miss on it re-walks the Linux page tables.
+        let insert_htab = if insert_htab && self.roll_injected_htab_overflow() {
+            self.stats.htab_overflows += 1;
+            false
+        } else {
+            insert_htab
+        };
         if insert_htab {
             let hw_pte = ppc_mmu::pte::Pte {
                 valid: true,
@@ -682,6 +720,9 @@ impl Kernel {
             let pa = self.htab.slot_pa(g, s);
             cost += self.machine.mem.data_write(pa, htab_cached);
             self.machine.charge(cost);
+            if out.overflow {
+                self.stats.htab_overflows += 1;
+            }
             if let Some(d) = out.displaced {
                 if d.valid {
                     if self.vsids.is_live(d.vsid) {
@@ -711,6 +752,33 @@ impl Kernel {
         );
         self.stats.tlb_reloads += 1;
         true
+    }
+
+    /// Rolls the injector for an allocation failure; counts a hit.
+    pub(crate) fn roll_injected_alloc_fail(&mut self) -> bool {
+        let hit = self.injector.as_mut().is_some_and(|i| i.roll_alloc_fail());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
+    }
+
+    /// Rolls the injector for a hash-table insertion overflow; counts a hit.
+    pub(crate) fn roll_injected_htab_overflow(&mut self) -> bool {
+        let hit = self.injector.as_mut().is_some_and(|i| i.roll_htab_overflow());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
+    }
+
+    /// Rolls the injector for a forced TLB-reload miss; counts a hit.
+    pub(crate) fn roll_injected_tlb_fault(&mut self) -> bool {
+        let hit = self.injector.as_mut().is_some_and(|i| i.roll_tlb_fault());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
     }
 
     /// Snapshot of kernel + machine statistics for a measurement window.

@@ -155,6 +155,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn regions_do_not_overlap() {
         assert!(KERNEL_TEXT_PA + KERNEL_TEXT_BYTES <= KERNEL_DATA_PA + KERNEL_DATA_BYTES);
         assert!(KERNEL_DATA_PA + KERNEL_DATA_BYTES <= HTAB_PA);

@@ -23,6 +23,12 @@
 //! the *same* workload on the unoptimized and optimized kernels and diff the
 //! hardware counters, exactly as the paper does.
 //!
+//! The kernel also survives faults the way a real kernel does: accesses
+//! outside every VMA deliver SIGSEGV through the signal machinery and kill
+//! the task ([`errors`]), memory pressure runs page-cache eviction, zombie
+//! reclaim and finally a simulated OOM killer, and a seeded
+//! [`FaultInjector`] can drive all of those paths deterministically.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,14 +39,16 @@
 //! let pid = k.spawn_process(8).unwrap();
 //! k.switch_to(pid);
 //! // Touch some user memory: faults, reloads and cache traffic all happen.
-//! k.user_write(0x1000_0000, 4096);
+//! k.user_write(0x1000_0000, 4096).unwrap();
 //! assert!(k.machine.cycles > 0);
 //! ```
 
+pub mod errors;
 pub mod fault;
 pub mod flush;
 pub mod fs;
 pub mod idle;
+pub mod inject;
 pub mod kconfig;
 pub mod kernel;
 pub mod layout;
@@ -62,6 +70,8 @@ mod tests_edge;
 mod tests_subsystems;
 pub mod vsid;
 
+pub use errors::{KResult, KernelError, Signal};
+pub use inject::{FaultInjection, FaultInjector};
 pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, VsidPolicy};
 pub use kernel::Kernel;
 pub use os_model::OsModel;

@@ -260,7 +260,7 @@ mod tests {
     fn pt_pool_is_separate_and_low() {
         let mut a = FrameAllocator::new();
         let pt = a.get_pt_page().unwrap();
-        assert!(pt >= PT_POOL_PA && pt < FRAME_POOL_PA);
+        assert!((PT_POOL_PA..FRAME_POOL_PA).contains(&pt));
         let (user, _) = a.get_free_page().unwrap();
         assert!(user >= FRAME_POOL_PA);
     }

@@ -2,6 +2,7 @@
 
 use ppc_mmu::addr::{PhysAddr, PAGE_SIZE};
 
+use crate::errors::KResult;
 use crate::kernel::Kernel;
 use crate::layout::{pa_to_kva, KernelPath};
 
@@ -25,9 +26,10 @@ pub struct Pipe {
 }
 
 impl Kernel {
-    /// Creates a pipe, returning its id.
-    pub fn pipe_create(&mut self) -> usize {
-        let pa = self.get_free_page_charged(false);
+    /// Creates a pipe, returning its id, or `ENOMEM` when no frame can be
+    /// found for the ring buffer.
+    pub fn pipe_create(&mut self) -> KResult<usize> {
+        let pa = self.get_free_page_charged(false)?;
         self.pipes.push(Pipe {
             buf_pa: pa,
             capacity: PAGE_SIZE,
@@ -37,7 +39,7 @@ impl Kernel {
             writer_waiting: None,
             total_bytes: 0,
         });
-        self.pipes.len() - 1
+        Ok(self.pipes.len() - 1)
     }
 
     /// `write(pipe, buf, len)`: copies user bytes into the ring, blocking
@@ -46,7 +48,7 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics on a nonexistent pipe or on simulated deadlock.
-    pub fn pipe_write(&mut self, pipe: usize, user_ea: u32, len: u32) {
+    pub fn pipe_write(&mut self, pipe: usize, user_ea: u32, len: u32) -> KResult<()> {
         self.syscall_entry();
         let insns = self.paths.pipe_op;
         self.run_kernel_path(KernelPath::Pipe, insns);
@@ -71,7 +73,7 @@ impl Kernel {
                 .min(len - written)
                 .min(self.pipes[pipe].capacity - tail_off);
             let buf_pa = self.pipes[pipe].buf_pa;
-            self.copy_user_kernel(user_ea + written, buf_pa + tail_off, chunk, true);
+            self.copy_user_kernel(user_ea + written, buf_pa + tail_off, chunk, true)?;
             {
                 let p = &mut self.pipes[pipe];
                 p.len += chunk;
@@ -83,6 +85,7 @@ impl Kernel {
             }
         }
         self.syscall_exit();
+        Ok(())
     }
 
     /// `read(pipe, buf, len)`: copies bytes from the ring to user memory,
@@ -91,7 +94,7 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics on a nonexistent pipe or on simulated deadlock.
-    pub fn pipe_read(&mut self, pipe: usize, user_ea: u32, len: u32) {
+    pub fn pipe_read(&mut self, pipe: usize, user_ea: u32, len: u32) -> KResult<()> {
         self.syscall_entry();
         let insns = self.paths.pipe_op;
         self.run_kernel_path(KernelPath::Pipe, insns);
@@ -113,7 +116,7 @@ impl Kernel {
             }
             let chunk = avail.min(len - read).min(self.pipes[pipe].capacity - head);
             let buf_pa = self.pipes[pipe].buf_pa;
-            self.copy_user_kernel(user_ea + read, buf_pa + head, chunk, false);
+            self.copy_user_kernel(user_ea + read, buf_pa + head, chunk, false)?;
             {
                 let p = &mut self.pipes[pipe];
                 p.len -= chunk;
@@ -125,6 +128,7 @@ impl Kernel {
             }
         }
         self.syscall_exit();
+        Ok(())
     }
 
     /// Bulk transfer: the writer's single `write(len)` against the reader's
@@ -143,7 +147,7 @@ impl Kernel {
         src_ea: u32,
         dst_ea: u32,
         len: u32,
-    ) {
+    ) -> KResult<()> {
         let insns = self.paths.pipe_op;
         // Writer enters write().
         self.switch_to(writer);
@@ -156,7 +160,7 @@ impl Kernel {
             let chunk = cap.min(len - moved);
             // Fill the ring.
             let buf_pa = self.pipes[pipe].buf_pa;
-            self.copy_user_kernel(src_ea + moved, buf_pa, chunk, true);
+            self.copy_user_kernel(src_ea + moved, buf_pa, chunk, true)?;
             self.pipes[pipe].total_bytes += chunk as u64;
             // Ring full: writer sleeps, reader runs and drains.
             self.switch_to(reader);
@@ -165,7 +169,7 @@ impl Kernel {
                 self.run_kernel_path(KernelPath::Pipe, insns);
                 reader_entered = true;
             }
-            self.copy_user_kernel(dst_ea + moved, buf_pa, chunk, false);
+            self.copy_user_kernel(dst_ea + moved, buf_pa, chunk, false)?;
             // Per-buffer bookkeeping (wakeups; Mach VM/IPC machinery).
             let chunk_insns = self.paths.pipe_chunk_insns;
             self.run_kernel_path(KernelPath::Pipe, chunk_insns);
@@ -177,6 +181,7 @@ impl Kernel {
         // Reader returns; writer's return is charged without a re-switch.
         self.syscall_exit();
         self.syscall_exit();
+        Ok(())
     }
 
     /// Copies between user memory and a kernel buffer, through the data
@@ -188,7 +193,7 @@ impl Kernel {
         kernel_pa: PhysAddr,
         bytes: u32,
         to_kernel: bool,
-    ) {
+    ) -> KResult<()> {
         let copies = self.paths.pipe_copies.max(1);
         for _ in 0..copies {
             let line = 32;
@@ -197,11 +202,11 @@ impl Kernel {
                 let u = ppc_mmu::addr::EffectiveAddress(user_ea + off);
                 let k = pa_to_kva(kernel_pa + off);
                 if to_kernel {
-                    self.data_ref(u, false);
-                    self.data_ref(k, true);
+                    self.data_ref(u, false)?;
+                    self.data_ref(k, true)?;
                 } else {
-                    self.data_ref(k, false);
-                    self.data_ref(u, true);
+                    self.data_ref(k, false)?;
+                    self.data_ref(u, true)?;
                 }
                 // The word-copy loop: the remaining loads/stores of the
                 // line hit the L1; charge their pipeline work.
@@ -209,5 +214,6 @@ impl Kernel {
                 off += line;
             }
         }
+        Ok(())
     }
 }

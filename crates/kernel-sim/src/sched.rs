@@ -2,6 +2,7 @@
 
 use ppc_mmu::addr::PAGE_SIZE;
 
+use crate::errors::{KResult, KernelError};
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
 use crate::linuxpt::LinuxPageTables;
@@ -18,13 +19,13 @@ pub const STACK_PAGES: u32 = 16;
 
 impl Kernel {
     /// Creates a process with a `ws_pages`-page anonymous working-set region
-    /// at [`USER_BASE`] and a stack. Returns its PID, or `None` when the
+    /// at [`USER_BASE`] and a stack. Returns its PID, or `ENOMEM` when the
     /// page-table pool is exhausted.
-    pub fn spawn_process(&mut self, ws_pages: u32) -> Option<Pid> {
+    pub fn spawn_process(&mut self, ws_pages: u32) -> KResult<Pid> {
         let insns = self.paths.spawn;
         self.run_kernel_path(KernelPath::Exec, insns);
         let pid = self.alloc_pid();
-        let pgd = self.frames.get_pt_page()?;
+        let pgd = self.frames.get_pt_page().ok_or(KernelError::OutOfMemory)?;
         self.phys.zero_page(pgd);
         self.machine.zero_page_pa(pgd, true);
         let vsids = self.vsids.alloc_context(pid);
@@ -45,7 +46,7 @@ impl Kernel {
         self.tasks.push(task);
         self.run_queue.push_back(idx);
         self.stats.processes_spawned += 1;
-        Some(pid)
+        Ok(pid)
     }
 
     /// Finds the task slot for `pid`.
@@ -153,22 +154,50 @@ impl Kernel {
     /// the next runnable task if any.
     pub fn exit_current(&mut self) {
         let cur = self.current.expect("exit with no current task");
+        self.teardown_task(cur);
+    }
+
+    /// Tears down task `idx` — the shared back half of `exit()`, fatal
+    /// signal delivery, and the OOM killer. Flushes its translations
+    /// (policy-dependent cost), returns its frames and page tables, drops
+    /// its page-cache mapping pins, and — when it was the current task —
+    /// switches to the next runnable one.
+    pub(crate) fn teardown_task(&mut self, idx: usize) {
         // Address-space teardown flush: the lazy kernel retires the context
         // in O(1); the eager kernel walks every VMA flushing page by page
         // (`tlbie` collateral included).
         if self.cfg.lazy_flush {
-            self.flush_context(cur);
+            self.flush_context(idx);
         } else {
-            let ranges: Vec<(u32, u32)> = self.tasks[cur]
+            let ranges: Vec<(u32, u32)> = self.tasks[idx]
                 .vmas
                 .iter()
                 .map(|v| (v.start, v.end))
                 .collect();
             for (start, end) in ranges {
-                self.flush_range(cur, start, end);
+                self.flush_range(idx, start, end);
             }
         }
-        let task = &mut self.tasks[cur];
+        // Unpin mapped page-cache frames so pressure can evict them again
+        // (bookkeeping on structures the teardown already touched).
+        let pt = self.tasks[idx].pt;
+        let file_vmas: Vec<(u32, u32)> = self.tasks[idx]
+            .vmas
+            .iter()
+            .filter(|v| matches!(v.kind, VmaKind::File { .. }))
+            .map(|v| (v.start, v.end))
+            .collect();
+        for (start, end) in file_vmas {
+            let mut ea = start;
+            while ea < end {
+                let walk = pt.walk(&self.phys, ppc_mmu::addr::EffectiveAddress(ea));
+                if let Some(pte) = walk.pte {
+                    self.file_map_unref(pte.pfn() << 12);
+                }
+                ea += PAGE_SIZE;
+            }
+        }
+        let task = &mut self.tasks[idx];
         task.state = TaskState::Dead;
         let frames: Vec<_> = task.frames.drain(..).collect();
         let pgd = task.pt.pgd_pa;
@@ -177,7 +206,6 @@ impl Kernel {
             self.release_user_frame(pa, true);
         }
         // Free second-level page-table pages.
-        let pt = self.tasks[cur].pt;
         let mut freed = std::collections::HashSet::new();
         for vma in &vmas {
             let mut ea = vma.start;
@@ -198,9 +226,12 @@ impl Kernel {
             }
         }
         self.frames.free_pt_page(pgd);
-        self.current = None;
-        if let Some(next) = self.pick_next() {
-            self.context_switch(next);
+        self.run_queue.retain(|&i| i != idx);
+        if self.current == Some(idx) {
+            self.current = None;
+            if let Some(next) = self.pick_next() {
+                self.context_switch(next);
+            }
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use ppc_mmu::addr::EffectiveAddress;
 
+use crate::errors::{KResult, KernelError, Signal};
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
 use crate::sched::STACK_BASE;
@@ -31,7 +32,7 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if no task is current.
-    pub fn signal_roundtrip(&mut self, handler_ea: u32) {
+    pub fn signal_roundtrip(&mut self, handler_ea: u32) -> KResult<()> {
         // kill(): queue the signal against the task.
         self.syscall_entry();
         let insns = self.paths.signal / 2;
@@ -45,17 +46,43 @@ impl Kernel {
         self.run_kernel_path(KernelPath::SyscallEntry, insns);
         let frame_base = STACK_BASE + 8 * 4096 - SIGFRAME_WORDS * 4;
         for w in 0..SIGFRAME_WORDS {
-            self.data_ref(EffectiveAddress(frame_base + w * 4), true);
+            self.data_ref(EffectiveAddress(frame_base + w * 4), true)?;
         }
         // ...run the user handler...
-        self.exec_code(EffectiveAddress(handler_ea), 24);
-        self.data_ref(EffectiveAddress(frame_base), false);
+        self.exec_code(EffectiveAddress(handler_ea), 24)?;
+        self.data_ref(EffectiveAddress(frame_base), false)?;
         // ...and sigreturn restores the interrupted context.
         self.syscall_entry();
         for w in 0..SIGFRAME_WORDS {
-            self.data_ref(EffectiveAddress(frame_base + w * 4), false);
+            self.data_ref(EffectiveAddress(frame_base + w * 4), false)?;
         }
         self.syscall_exit();
+        Ok(())
+    }
+
+    /// Delivers an *uncaught* fatal signal to the current task: the same
+    /// queue + frame machinery as [`Kernel::signal_roundtrip`]'s delivery
+    /// half, except the frame is built on the **kernel** stack (the user
+    /// stack cannot be trusted mid-fault — it may itself be the faulting
+    /// address), and instead of running a handler the kernel tears the task
+    /// down and schedules the next runnable one. Returns the
+    /// [`KernelError::Fatal`] the interrupted operation propagates.
+    pub(crate) fn deliver_fatal_signal(&mut self, signal: Signal, ea: u32) -> KernelError {
+        let cur = self.current.expect("fatal signal with no current task");
+        match signal {
+            Signal::Segv => self.stats.sigsegvs += 1,
+            Signal::Bus => self.stats.sigbus += 1,
+            Signal::Kill => {} // counted by the OOM killer
+        }
+        let insns = self.paths.signal;
+        self.run_kernel_path(KernelPath::SyscallEntry, insns);
+        let stack = self.tasks[cur].task_struct_pa() + 0x200;
+        for w in 0..SIGFRAME_WORDS {
+            self.kdata_ref(stack + w * 4, true);
+        }
+        self.teardown_task(cur);
+        self.machine.charge(self.machine.cfg.costs.exception_exit);
+        KernelError::Fatal { signal, ea }
     }
 }
 
@@ -70,7 +97,7 @@ mod tests {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
+        k.prefault(USER_BASE, 4).unwrap();
         k
     }
 
@@ -79,7 +106,7 @@ mod tests {
         let mut k = kernel_with_proc();
         k.sys_signal_install();
         let syscalls = k.stats.syscalls;
-        k.signal_roundtrip(USER_BASE);
+        k.signal_roundtrip(USER_BASE).unwrap();
         // kill + sigreturn are syscalls; delivery itself is a kernel exit.
         assert_eq!(k.stats.syscalls, syscalls + 2);
     }
@@ -88,9 +115,9 @@ mod tests {
     fn roundtrip_is_dearer_than_null_syscall() {
         let mut k = kernel_with_proc();
         k.sys_signal_install();
-        k.signal_roundtrip(USER_BASE); // warm
+        k.signal_roundtrip(USER_BASE).unwrap(); // warm
         let c0 = k.machine.cycles;
-        k.signal_roundtrip(USER_BASE);
+        k.signal_roundtrip(USER_BASE).unwrap();
         let sig = k.machine.cycles - c0;
         let c0 = k.machine.cycles;
         k.sys_null();
@@ -102,16 +129,44 @@ mod tests {
     }
 
     #[test]
+    fn fatal_delivery_charges_like_a_real_signal() {
+        let mut k = kernel_with_proc();
+        k.sys_signal_install();
+        k.signal_roundtrip(USER_BASE).unwrap(); // warm
+        let c0 = k.machine.cycles;
+        k.signal_roundtrip(USER_BASE).unwrap();
+        let roundtrip = k.machine.cycles - c0;
+        let c0 = k.machine.cycles;
+        let err = k.user_write(0x5000_0000, 4).unwrap_err();
+        let fatal = k.machine.cycles - c0;
+        assert_eq!(
+            err,
+            KernelError::Fatal {
+                signal: Signal::Segv,
+                ea: 0x5000_0000
+            }
+        );
+        assert!(k.current.is_none(), "the faulting task must be gone");
+        // Delivery runs the full signal path, builds the frame, and tears
+        // the task down — it cannot be cheaper than the delivery half of a
+        // caught-signal round trip (which also runs a handler + sigreturn).
+        assert!(
+            fatal > roundtrip / 2,
+            "fatal delivery ({fatal}) vs caught roundtrip ({roundtrip})"
+        );
+    }
+
+    #[test]
     fn slow_kernel_signals_are_slower() {
         let run = |kcfg: KernelConfig| {
             let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
             let pid = k.spawn_process(8).unwrap();
             k.switch_to(pid);
-            k.prefault(USER_BASE, 4);
-            k.signal_roundtrip(USER_BASE);
+            k.prefault(USER_BASE, 4).unwrap();
+            k.signal_roundtrip(USER_BASE).unwrap();
             let c0 = k.machine.cycles;
             for _ in 0..10 {
-                k.signal_roundtrip(USER_BASE);
+                k.signal_roundtrip(USER_BASE).unwrap();
             }
             k.machine.cycles - c0
         };

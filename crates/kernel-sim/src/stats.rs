@@ -38,6 +38,19 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Segfaults (accesses outside any VMA).
     pub segfaults: u64,
+    /// Fatal SIGSEGVs delivered (task killed).
+    pub sigsegvs: u64,
+    /// Fatal SIGBUSes delivered (file mapping past EOF).
+    pub sigbus: u64,
+    /// Tasks reaped by the OOM killer.
+    pub oom_kills: u64,
+    /// Page-cache pages evicted by the memory-pressure path.
+    pub reclaimed_pages: u64,
+    /// Faults injected by the seeded [`crate::inject::FaultInjector`].
+    pub injected_faults: u64,
+    /// Hash-table inserts that found both candidate PTEGs full (includes
+    /// injected overflows).
+    pub htab_overflows: u64,
 }
 
 impl KernelStats {
@@ -81,6 +94,12 @@ impl KernelStats {
             idle_groups_scanned: self.idle_groups_scanned - earlier.idle_groups_scanned,
             processes_spawned: self.processes_spawned - earlier.processes_spawned,
             segfaults: self.segfaults - earlier.segfaults,
+            sigsegvs: self.sigsegvs - earlier.sigsegvs,
+            sigbus: self.sigbus - earlier.sigbus,
+            oom_kills: self.oom_kills - earlier.oom_kills,
+            reclaimed_pages: self.reclaimed_pages - earlier.reclaimed_pages,
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            htab_overflows: self.htab_overflows - earlier.htab_overflows,
         }
     }
 }

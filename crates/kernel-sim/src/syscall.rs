@@ -122,13 +122,16 @@ impl Kernel {
                     let c = self.machine.mem.data_write(pte_pa, cached);
                     self.machine.charge(c);
                 }
-                if old.is_some() {
+                if let Some(old_pte) = old {
                     // Anonymous frames (owned, listed in task.frames) go
-                    // back to the allocator; page-cache frames stay.
+                    // back to the allocator; page-cache frames stay in the
+                    // cache but lose their mapping pin.
                     let task = &mut self.tasks[idx];
                     if let Some(pos) = task.frames.iter().position(|&(a, _)| a == ea) {
                         let (_, pa) = task.frames.swap_remove(pos);
                         freed.push(pa);
+                    } else {
+                        self.file_map_unref(old_pte.pfn() << 12);
                     }
                     self.machine.charge(self.paths.mm_per_page as u64);
                 }
@@ -137,6 +140,17 @@ impl Kernel {
         }
         for pa in freed {
             self.release_user_frame(pa, true);
+        }
+    }
+
+    /// Drops one mapping pin on a page-cache frame; when the count reaches
+    /// zero the frame becomes evictable under memory pressure again.
+    pub(crate) fn file_map_unref(&mut self, pa: u32) {
+        if let Some(count) = self.file_map_refs.get_mut(&pa) {
+            *count -= 1;
+            if *count == 0 {
+                self.file_map_refs.remove(&pa);
+            }
         }
     }
 }

@@ -90,6 +90,11 @@ impl Task {
         }
     }
 
+    /// Whether the task has not been torn down.
+    pub fn is_alive(&self) -> bool {
+        self.state != TaskState::Dead
+    }
+
     /// Physical address of this task's task-struct in kernel data (for
     /// context-switch memory traffic).
     pub fn task_struct_pa(&self) -> PhysAddr {

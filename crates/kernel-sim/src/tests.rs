@@ -18,12 +18,12 @@ fn boot(mcfg: MachineConfig, kcfg: KernelConfig) -> Kernel {
 #[test]
 fn touching_memory_faults_then_hits() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
-    k.user_write(USER_BASE, PAGE_SIZE);
+    k.user_write(USER_BASE, PAGE_SIZE).unwrap();
     assert_eq!(k.stats.page_faults, 1);
     let faults = k.stats.page_faults;
     let reloads = k.stats.tlb_reloads;
     // Re-touching the same page is TLB-hot: no new faults or reloads.
-    k.user_write(USER_BASE, PAGE_SIZE);
+    k.user_write(USER_BASE, PAGE_SIZE).unwrap();
     assert_eq!(k.stats.page_faults, faults);
     assert_eq!(k.stats.tlb_reloads, reloads);
 }
@@ -83,11 +83,11 @@ fn bats_keep_kernel_out_of_tlb() {
 #[test]
 fn hardware_604_uses_htab_on_reload() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
-    k.prefault(USER_BASE, 8);
+    k.prefault(USER_BASE, 8).unwrap();
     // Blow the TLB, keep the htab: reloads must be htab hits.
     k.machine.mmu.flush_tlbs();
     let before = k.stats.htab_hits;
-    k.user_read(USER_BASE, 8 * PAGE_SIZE);
+    k.user_read(USER_BASE, 8 * PAGE_SIZE).unwrap();
     assert!(
         k.stats.htab_hits > before,
         "604 reloads from the hash table"
@@ -101,7 +101,7 @@ fn no_htab_603_reloads_from_linux_pt() {
         ..KernelConfig::optimized()
     };
     let mut k = boot(MachineConfig::ppc603_180(), kcfg);
-    k.prefault(USER_BASE, 8);
+    k.prefault(USER_BASE, 8).unwrap();
     assert_eq!(
         k.htab.valid_entries(),
         0,
@@ -109,7 +109,7 @@ fn no_htab_603_reloads_from_linux_pt() {
     );
     k.machine.mmu.flush_tlbs();
     let (h0, m0) = (k.stats.htab_hits, k.stats.htab_misses);
-    k.user_read(USER_BASE, 8 * PAGE_SIZE);
+    k.user_read(USER_BASE, 8 * PAGE_SIZE).unwrap();
     assert_eq!(k.stats.htab_hits, h0);
     assert_eq!(
         k.stats.htab_misses, m0,
@@ -121,7 +121,7 @@ fn no_htab_603_reloads_from_linux_pt() {
 fn lazy_flush_bumps_context_instead_of_searching() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
     let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
-    k.prefault(addr, 64);
+    k.prefault(addr, 64).unwrap();
     let old_vsids = k.cur().vsids;
     let bumps = k.stats.context_bumps;
     let flushed = k.stats.flushed_pages;
@@ -140,7 +140,7 @@ fn lazy_flush_bumps_context_instead_of_searching() {
 fn small_ranges_flush_per_page_even_when_lazy() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
     let addr = k.sys_mmap(None, 8 * PAGE_SIZE);
-    k.prefault(addr, 8);
+    k.prefault(addr, 8).unwrap();
     let bumps = k.stats.context_bumps;
     k.sys_munmap(addr, 8 * PAGE_SIZE);
     assert_eq!(
@@ -155,7 +155,7 @@ fn lazy_munmap_is_much_cheaper_for_large_ranges() {
     let run = |kcfg: KernelConfig| {
         let mut k = boot(MachineConfig::ppc604_133(), kcfg);
         let addr = k.sys_mmap(None, 256 * PAGE_SIZE);
-        k.prefault(addr, 256);
+        k.prefault(addr, 256).unwrap();
         let start = k.machine.cycles;
         k.sys_munmap(addr, 256 * PAGE_SIZE);
         k.machine.cycles - start
@@ -182,7 +182,7 @@ fn zombies_accumulate_without_reclaim_and_vanish_with_it() {
     // Create zombies: map, touch, munmap (context bump) repeatedly.
     for _ in 0..4 {
         let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
-        k.prefault(addr, 64);
+        k.prefault(addr, 64).unwrap();
         k.sys_munmap(addr, 64 * PAGE_SIZE);
     }
     let valid = k.htab.valid_entries();
@@ -213,9 +213,9 @@ fn idle_reclaim_reduces_evictions() {
             for &pid in &pids {
                 k.switch_to(pid);
                 let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
-                k.prefault(addr, 64);
+                k.prefault(addr, 64).unwrap();
                 k.sys_munmap(addr, 64 * PAGE_SIZE); // context bump -> zombies
-                k.user_read(USER_BASE, 64 * PAGE_SIZE);
+                k.user_read(USER_BASE, 64 * PAGE_SIZE).unwrap();
                 k.run_idle(150_000);
             }
         }
@@ -247,7 +247,7 @@ fn precleared_pages_accelerate_demand_faults() {
         let mut k = boot(MachineConfig::ppc604_133(), kcfg);
         k.run_idle(2_000_000);
         let start = k.machine.cycles;
-        k.prefault(USER_BASE, 32);
+        k.prefault(USER_BASE, 32).unwrap();
         k.machine.cycles - start
     };
     let demand = fault_cost(PageClearing::OnDemand);
@@ -269,11 +269,11 @@ fn cached_idle_clearing_pollutes_the_cache() {
             ..KernelConfig::optimized()
         };
         let mut k = boot(MachineConfig::ppc604_133(), kcfg);
-        k.prefault(USER_BASE, 4);
-        k.user_read(USER_BASE, 4 * PAGE_SIZE); // warm 16 KiB = whole D-cache
+        k.prefault(USER_BASE, 4).unwrap();
+        k.user_read(USER_BASE, 4 * PAGE_SIZE).unwrap(); // warm 16 KiB = whole D-cache
         k.run_idle(500_000);
         let start = k.machine.cycles;
-        k.user_read(USER_BASE, 4 * PAGE_SIZE);
+        k.user_read(USER_BASE, 4 * PAGE_SIZE).unwrap();
         k.machine.cycles - start
     };
     let cached = retouch(PageClearing::IdleCached);
@@ -289,16 +289,16 @@ fn pipes_transfer_and_block() {
     let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
     let a = k.spawn_process(4).unwrap();
     let b = k.spawn_process(4).unwrap();
-    let p = k.pipe_create();
+    let p = k.pipe_create().unwrap();
     // Writer fills beyond capacity; must block and hand off to the reader.
     k.switch_to(a);
-    k.prefault(USER_BASE, 4);
+    k.prefault(USER_BASE, 4).unwrap();
     // Reader side will run when writer blocks; it needs its pages too, but
     // demand faulting inside the pipe path is fine.
     let _ = b;
     // Simple same-task round trip first.
-    k.pipe_write(p, USER_BASE, 1024);
-    k.pipe_read(p, USER_BASE + 8192, 1024);
+    k.pipe_write(p, USER_BASE, 1024).unwrap();
+    k.pipe_read(p, USER_BASE + 8192, 1024).unwrap();
     assert_eq!(k.pipes[p].len, 0);
     assert_eq!(k.pipes[p].total_bytes, 1024);
 }
@@ -306,10 +306,10 @@ fn pipes_transfer_and_block() {
 #[test]
 fn file_read_copies_through_page_cache() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
-    let f = k.create_file(64 * 1024);
-    k.prefault(USER_BASE, 16);
+    let f = k.create_file(64 * 1024).unwrap();
+    k.prefault(USER_BASE, 16).unwrap();
     let start = k.machine.cycles;
-    k.sys_read(f, 0, USER_BASE, 64 * 1024);
+    k.sys_read(f, 0, USER_BASE, 64 * 1024).unwrap();
     assert!(k.machine.cycles > start);
     assert_eq!(k.stats.syscalls, 1);
 }
@@ -334,7 +334,7 @@ fn exec_exit_cycle_reuses_resources() {
     for _ in 0..10 {
         let pid = k.spawn_process(16).unwrap();
         k.switch_to(pid);
-        k.user_write(USER_BASE, 16 * PAGE_SIZE);
+        k.user_write(USER_BASE, 16 * PAGE_SIZE).unwrap();
         k.exit_current();
     }
     // All user frames returned (pre-cleared pages may hold some).
@@ -359,7 +359,7 @@ fn vsid_scatter_constant_controls_htab_clustering() {
         for _ in 0..16 {
             let pid = k.spawn_process(64).unwrap();
             k.switch_to(pid);
-            k.prefault(USER_BASE, 64);
+            k.prefault(USER_BASE, 64).unwrap();
         }
         *k.htab.group_histogram().iter().max().unwrap()
     };
@@ -375,13 +375,23 @@ fn vsid_scatter_constant_controls_htab_clustering() {
 fn accesses_to_io_space_are_uncached() {
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
     let inhibited_before = k.machine.mem.dcache.stats().inhibited;
-    k.data_ref(EffectiveAddress(crate::layout::IO_VIRT_BASE + 0x100), true);
+    k.data_ref(EffectiveAddress(crate::layout::IO_VIRT_BASE + 0x100), true).unwrap();
     assert!(k.machine.mem.dcache.stats().inhibited > inhibited_before);
 }
 
 #[test]
-#[should_panic(expected = "segfault")]
 fn wild_access_segfaults() {
+    use crate::errors::{KernelError, Signal};
     let mut k = boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
-    k.data_ref(EffectiveAddress(0x6666_0000), false);
+    let err = k.data_ref(EffectiveAddress(0x6666_0000), false).unwrap_err();
+    assert_eq!(
+        err,
+        KernelError::Fatal {
+            signal: Signal::Segv,
+            ea: 0x6666_0000
+        }
+    );
+    assert_eq!(k.stats.segfaults, 1);
+    assert_eq!(k.stats.sigsegvs, 1);
+    assert!(k.current.is_none(), "the faulting task died");
 }

@@ -23,7 +23,7 @@ fn flush_cutoff_boundary_is_strict() {
         ..KernelConfig::optimized()
     });
     let addr = k.sys_mmap(None, 20 * PAGE_SIZE);
-    k.prefault(addr, 20);
+    k.prefault(addr, 20).unwrap();
     let bumps = k.stats.context_bumps;
     k.sys_munmap(addr, 20 * PAGE_SIZE);
     assert_eq!(
@@ -32,7 +32,7 @@ fn flush_cutoff_boundary_is_strict() {
     );
     assert_eq!(k.stats.flushed_pages, 20);
     let addr = k.sys_mmap(None, 21 * PAGE_SIZE);
-    k.prefault(addr, 21);
+    k.prefault(addr, 21).unwrap();
     k.sys_munmap(addr, 21 * PAGE_SIZE);
     assert_eq!(
         k.stats.context_bumps,
@@ -57,7 +57,7 @@ fn cutoff_of_one_bumps_for_everything_bigger() {
 fn zero_length_user_access_is_free() {
     let mut k = boot(KernelConfig::optimized());
     let c0 = k.machine.cycles;
-    let cost = k.user_read(USER_BASE, 0);
+    let cost = k.user_read(USER_BASE, 0).unwrap();
     assert_eq!(cost, 0);
     assert_eq!(k.machine.cycles, c0);
 }
@@ -65,22 +65,22 @@ fn zero_length_user_access_is_free() {
 #[test]
 fn one_byte_pipe_write_costs_a_full_line_copy() {
     let mut k = boot(KernelConfig::optimized());
-    k.prefault(USER_BASE, 1);
-    let p = k.pipe_create();
-    k.pipe_write(p, USER_BASE, 1);
+    k.prefault(USER_BASE, 1).unwrap();
+    let p = k.pipe_create().unwrap();
+    k.pipe_write(p, USER_BASE, 1).unwrap();
     assert_eq!(k.pipes[p].len, 1);
-    k.pipe_read(p, USER_BASE, 1);
+    k.pipe_read(p, USER_BASE, 1).unwrap();
     assert_eq!(k.pipes[p].len, 0);
 }
 
 #[test]
 fn pipe_exact_capacity_fits_without_blocking() {
     let mut k = boot(KernelConfig::optimized());
-    k.prefault(USER_BASE, 1);
-    let p = k.pipe_create();
-    k.pipe_write(p, USER_BASE, PAGE_SIZE);
+    k.prefault(USER_BASE, 1).unwrap();
+    let p = k.pipe_create().unwrap();
+    k.pipe_write(p, USER_BASE, PAGE_SIZE).unwrap();
     assert_eq!(k.pipes[p].len, PAGE_SIZE);
-    k.pipe_read(p, USER_BASE, PAGE_SIZE);
+    k.pipe_read(p, USER_BASE, PAGE_SIZE).unwrap();
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn vsid_wraparound_keeps_contexts_distinct() {
     for _ in 0..32 {
         let pid = k.spawn_process(2).unwrap();
         k.switch_to(pid);
-        k.user_write(USER_BASE, PAGE_SIZE);
+        k.user_write(USER_BASE, PAGE_SIZE).unwrap();
         k.exit_current();
     }
     assert_eq!(k.stats.segfaults, 0);
@@ -107,11 +107,12 @@ fn vsid_wraparound_keeps_contexts_distinct() {
 fn stack_grows_from_its_own_vma() {
     let mut k = boot(KernelConfig::optimized());
     // Stack pages are demand-zero from the stack VMA.
-    k.data_ref(EffectiveAddress(crate::sched::STACK_BASE), true);
+    k.data_ref(EffectiveAddress(crate::sched::STACK_BASE), true).unwrap();
     k.data_ref(
         EffectiveAddress(crate::sched::STACK_BASE + (crate::sched::STACK_PAGES - 1) * PAGE_SIZE),
         true,
-    );
+    )
+    .unwrap();
     assert_eq!(k.stats.page_faults, 2);
 }
 
@@ -152,20 +153,24 @@ fn page_clearing_policies_preserve_zeroing_semantics() {
         k.run_idle(100_000);
         // Dirty a frame, free it, reallocate it.
         let addr = k.sys_mmap(None, PAGE_SIZE);
-        k.data_ref(EffectiveAddress(addr), true);
-        let (pa, _) = k.translate_ref(
-            EffectiveAddress(addr),
-            ppc_mmu::translate::AccessType::DataRead,
-        );
+        k.data_ref(EffectiveAddress(addr), true).unwrap();
+        let (pa, _) = k
+            .translate_ref(
+                EffectiveAddress(addr),
+                ppc_mmu::translate::AccessType::DataRead,
+            )
+            .unwrap();
         k.phys.write_u32(pa, 0xdead_beef);
         k.sys_munmap(addr, PAGE_SIZE);
         k.run_idle(200_000);
         let addr2 = k.sys_mmap(None, PAGE_SIZE);
-        k.data_ref(EffectiveAddress(addr2), false);
-        let (pa2, _) = k.translate_ref(
-            EffectiveAddress(addr2),
-            ppc_mmu::translate::AccessType::DataRead,
-        );
+        k.data_ref(EffectiveAddress(addr2), false).unwrap();
+        let (pa2, _) = k
+            .translate_ref(
+                EffectiveAddress(addr2),
+                ppc_mmu::translate::AccessType::DataRead,
+            )
+            .unwrap();
         assert_eq!(
             k.phys.read_u32(pa2),
             0,
@@ -183,7 +188,7 @@ fn kernel_survives_heavy_fragmentation() {
     for i in 0..60u32 {
         let pages = 1 + (i * 7) % 40;
         let addr = k.sys_mmap(None, pages * PAGE_SIZE);
-        k.prefault(addr, pages.min(8));
+        k.prefault(addr, pages.min(8)).unwrap();
         live.push((addr, pages));
         if i % 3 == 2 {
             let (a, p) = live.remove((i as usize * 5) % live.len());
@@ -199,7 +204,7 @@ fn kernel_survives_heavy_fragmentation() {
 #[test]
 fn sixteen_generations_of_fork_chain() {
     let mut k = boot(KernelConfig::optimized());
-    k.prefault(USER_BASE, 8);
+    k.prefault(USER_BASE, 8).unwrap();
     // Each child forks the next, then everyone exits in reverse.
     let mut chain = vec![k.cur().pid];
     for _ in 0..16 {
@@ -208,7 +213,7 @@ fn sixteen_generations_of_fork_chain() {
         chain.push(child);
     }
     // The deepest child writes everything (COW storm through 16 sharers).
-    k.user_write(USER_BASE, 8 * PAGE_SIZE);
+    k.user_write(USER_BASE, 8 * PAGE_SIZE).unwrap();
     while chain.len() > 1 {
         let pid = chain.pop().unwrap();
         k.switch_to(pid);
@@ -226,12 +231,12 @@ fn unoptimized_and_optimized_agree_on_semantics() {
         let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
         let pid = k.spawn_process(16).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 16);
+        k.prefault(USER_BASE, 16).unwrap();
         let addr = k.sys_mmap(None, 8 * PAGE_SIZE);
-        k.user_write(addr, 8 * PAGE_SIZE);
+        k.user_write(addr, 8 * PAGE_SIZE).unwrap();
         k.sys_munmap(addr, 8 * PAGE_SIZE);
-        let f = k.create_file(8 * PAGE_SIZE);
-        k.sys_read(f, 0, USER_BASE, 4 * PAGE_SIZE);
+        let f = k.create_file(8 * PAGE_SIZE).unwrap();
+        k.sys_read(f, 0, USER_BASE, 4 * PAGE_SIZE).unwrap();
         (
             k.stats.page_faults,
             k.stats.segfaults,

@@ -73,7 +73,7 @@ fn exit_returns_page_table_pages() {
     for _ in 0..120 {
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 8);
+        k.prefault(USER_BASE, 8).unwrap();
         k.exit_current();
     }
     assert_eq!(k.stats.processes_spawned, 120);
@@ -112,8 +112,8 @@ fn mmap_places_nonoverlapping_regions() {
     let b = k.sys_mmap(None, 16 * PAGE_SIZE);
     assert!(b >= a + 16 * PAGE_SIZE, "regions must not overlap");
     // Both are usable.
-    k.data_ref(EffectiveAddress(a), true);
-    k.data_ref(EffectiveAddress(b + 15 * PAGE_SIZE), true);
+    k.data_ref(EffectiveAddress(a), true).unwrap();
+    k.data_ref(EffectiveAddress(b + 15 * PAGE_SIZE), true).unwrap();
 }
 
 #[test]
@@ -121,7 +121,7 @@ fn munmap_frees_anonymous_frames() {
     let mut k = kernel_with_proc(4);
     let free0 = k.frames.free_frames();
     let a = k.sys_mmap(None, 32 * PAGE_SIZE);
-    k.prefault(a, 32);
+    k.prefault(a, 32).unwrap();
     assert!(k.frames.free_frames() <= free0 - 32);
     k.sys_munmap(a, 32 * PAGE_SIZE);
     assert!(
@@ -142,12 +142,12 @@ fn mmap_rejects_unaligned_length() {
 #[test]
 fn pipe_preserves_byte_accounting_through_wraparound() {
     let mut k = kernel_with_proc(8);
-    k.prefault(USER_BASE, 8);
-    let p = k.pipe_create();
+    k.prefault(USER_BASE, 8).unwrap();
+    let p = k.pipe_create().unwrap();
     // Transfers that wrap the ring several times.
     for len in [100u32, 4096, 5000, 1, 8000] {
-        k.pipe_write(p, USER_BASE, len.min(PAGE_SIZE));
-        k.pipe_read(p, USER_BASE, len.min(PAGE_SIZE));
+        k.pipe_write(p, USER_BASE, len.min(PAGE_SIZE)).unwrap();
+        k.pipe_read(p, USER_BASE, len.min(PAGE_SIZE)).unwrap();
         assert_eq!(k.pipes[p].len, 0, "ring drained after symmetric read");
     }
 }
@@ -159,10 +159,10 @@ fn pipe_transfer_moves_everything() {
     let r = k.spawn_process(32).unwrap();
     for &pid in &[w, r] {
         k.switch_to(pid);
-        k.prefault(USER_BASE, 16);
+        k.prefault(USER_BASE, 16).unwrap();
     }
-    let p = k.pipe_create();
-    k.pipe_transfer(p, w, r, USER_BASE, USER_BASE, 64 * 1024);
+    let p = k.pipe_create().unwrap();
+    k.pipe_transfer(p, w, r, USER_BASE, USER_BASE, 64 * 1024).unwrap();
     assert_eq!(k.pipes[p].total_bytes, 64 * 1024);
     assert!(k.stats.ctx_switches > 16, "one switch per ring fill/drain");
 }
@@ -178,10 +178,10 @@ fn microkernel_double_copy_costs_more() {
         );
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 4);
-        let p = k.pipe_create();
+        k.prefault(USER_BASE, 4).unwrap();
+        let p = k.pipe_create().unwrap();
         let c0 = k.machine.cycles;
-        k.pipe_write(p, USER_BASE, PAGE_SIZE);
+        k.pipe_write(p, USER_BASE, PAGE_SIZE).unwrap();
         k.machine.cycles - c0
     };
     let single = run(paths);
@@ -198,11 +198,11 @@ fn microkernel_double_copy_costs_more() {
 #[test]
 fn file_pages_are_stable_across_reads() {
     let mut k = kernel_with_proc(32);
-    k.prefault(USER_BASE, 16);
-    let f = k.create_file(128 * 1024);
+    k.prefault(USER_BASE, 16).unwrap();
+    let f = k.create_file(128 * 1024).unwrap();
     let pages: Vec<_> = k.files[f].pages.clone();
-    k.sys_read(f, 0, USER_BASE, 64 * 1024);
-    k.sys_read(f, 64 * 1024, USER_BASE, 64 * 1024);
+    k.sys_read(f, 0, USER_BASE, 64 * 1024).unwrap();
+    k.sys_read(f, 64 * 1024, USER_BASE, 64 * 1024).unwrap();
     assert_eq!(
         k.files[f].pages, pages,
         "page cache must not churn on reads"
@@ -212,28 +212,49 @@ fn file_pages_are_stable_across_reads() {
 #[test]
 fn file_mmap_shares_page_cache_frames() {
     let mut k = kernel_with_proc(8);
-    let f = k.create_file(16 * PAGE_SIZE);
+    let f = k.create_file(16 * PAGE_SIZE).unwrap();
     let addr = k.sys_mmap(Some(f), 16 * PAGE_SIZE);
-    k.prefault(addr, 16);
+    k.prefault(addr, 16).unwrap();
     // No anonymous frames were consumed for the file pages.
-    let (pa, _) = k.translate_ref(
-        EffectiveAddress(addr),
-        ppc_mmu::translate::AccessType::DataRead,
-    );
+    let (pa, _) = k
+        .translate_ref(
+            EffectiveAddress(addr),
+            ppc_mmu::translate::AccessType::DataRead,
+        )
+        .unwrap();
     assert_eq!(
         pa & !0xfff,
-        k.files[f].pages[0],
+        k.files[f].pages[0].expect("resident cache page"),
         "mapping points at the cache page"
     );
 }
 
 #[test]
-#[should_panic(expected = "read past EOF")]
-fn file_read_past_eof_is_a_bug_trap() {
+fn file_read_truncates_at_eof() {
     let mut k = kernel_with_proc(8);
-    k.prefault(USER_BASE, 4);
-    let f = k.create_file(PAGE_SIZE);
-    k.sys_read(f, 0, USER_BASE, 3 * PAGE_SIZE);
+    k.prefault(USER_BASE, 4).unwrap();
+    let f = k.create_file(PAGE_SIZE).unwrap();
+    let n = k.sys_read(f, 0, USER_BASE, 3 * PAGE_SIZE).unwrap();
+    assert_eq!(n, PAGE_SIZE, "read() returns the bytes before EOF");
+}
+
+#[test]
+fn file_mapping_past_eof_delivers_sigbus() {
+    use crate::errors::{KernelError, Signal};
+    let mut k = kernel_with_proc(8);
+    let f = k.create_file(PAGE_SIZE).unwrap();
+    let addr = k.sys_mmap(Some(f), 4 * PAGE_SIZE);
+    k.user_read(addr, PAGE_SIZE).unwrap(); // in-bounds page is fine
+    let err = k.user_read(addr + PAGE_SIZE, 4).unwrap_err();
+    assert_eq!(
+        err,
+        KernelError::Fatal {
+            signal: Signal::Bus,
+            ea: addr + PAGE_SIZE
+        }
+    );
+    assert_eq!(k.stats.sigbus, 1);
+    assert!(k.current.is_none(), "the faulting task died");
 }
 
 // --- idle duties ---
@@ -273,7 +294,7 @@ fn idle_clearing_stops_when_nothing_to_clear() {
 #[test]
 fn reclaim_scan_sleeps_without_retirements() {
     let mut k = kernel_with_proc(16);
-    k.prefault(USER_BASE, 16);
+    k.prefault(USER_BASE, 16).unwrap();
     k.run_idle(200_000);
     let scanned0 = k.stats.idle_groups_scanned;
     assert_eq!(scanned0, 0, "no context retired yet: nothing to scan");
@@ -296,7 +317,7 @@ fn flush_context_eager_scans_whole_table() {
     let mut k = Kernel::boot(MachineConfig::ppc604_133(), kcfg);
     let pid = k.spawn_process(16).unwrap();
     k.switch_to(pid);
-    k.prefault(USER_BASE, 16);
+    k.prefault(USER_BASE, 16).unwrap();
     assert!(k.htab.valid_entries() >= 16);
     let idx = k.task_idx(pid).unwrap();
     k.flush_context(idx);
@@ -316,7 +337,7 @@ fn flush_context_eager_scans_whole_table() {
 #[test]
 fn lazy_context_flush_leaves_zombies_resident() {
     let mut k = kernel_with_proc(16);
-    k.prefault(USER_BASE, 16);
+    k.prefault(USER_BASE, 16).unwrap();
     let valid_before = k.htab.valid_entries();
     let idx = k.current.unwrap();
     k.flush_context(idx);

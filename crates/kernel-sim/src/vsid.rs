@@ -10,7 +10,7 @@ use crate::layout::USER_SEGMENTS;
 /// Base of the reserved kernel VSID range: kernel segments 0xC–0xF get
 /// `KERNEL_VSID_BASE + sr`. "We reserved segments for the dynamically mapped
 /// parts of the kernel … and put a fixed VSID in these segments" (paper §7).
-pub const KERNEL_VSID_BASE: u32 = 0xfff0_00;
+pub const KERNEL_VSID_BASE: u32 = 0x00ff_f000;
 
 /// Returns the fixed VSID for kernel segment register `sr` (12–15).
 ///

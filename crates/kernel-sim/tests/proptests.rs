@@ -103,7 +103,7 @@ proptest! {
         let mut k = Kernel::boot(MachineConfig::ppc604_185(), KernelConfig::optimized());
         let pid = k.spawn_process(16).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 16);
+        k.prefault(USER_BASE, 16).unwrap();
         let mut frame_of = std::collections::HashMap::new();
         for &(page, word, write) in &offsets {
             let ea = EffectiveAddress(USER_BASE + page * PAGE_SIZE + word * 4);
@@ -111,7 +111,7 @@ proptest! {
                 ppc_mmu::translate::AccessType::DataWrite
             } else {
                 ppc_mmu::translate::AccessType::DataRead
-            });
+            }).unwrap();
             prop_assert!(cached);
             prop_assert_eq!(pa & 0xfff, ea.0 & 0xfff, "offset preserved");
             let frame = pa >> 12;
@@ -129,10 +129,10 @@ proptest! {
         let mut k = Kernel::boot(MachineConfig::ppc603_133(), KernelConfig::optimized());
         let pid = k.spawn_process(8).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 8);
+        k.prefault(USER_BASE, 8).unwrap();
         let mut last = k.machine.cycles;
         for &(page, write) in &ops {
-            k.data_ref(EffectiveAddress(USER_BASE + page * PAGE_SIZE), write);
+            k.data_ref(EffectiveAddress(USER_BASE + page * PAGE_SIZE), write).unwrap();
             prop_assert!(k.machine.cycles > last);
             last = k.machine.cycles;
         }
@@ -145,15 +145,84 @@ proptest! {
         let mut k = Kernel::boot(MachineConfig::ppc604_133(), KernelConfig::optimized());
         let pid = k.spawn_process(32).unwrap();
         k.switch_to(pid);
-        k.prefault(USER_BASE, 32);
+        k.prefault(USER_BASE, 32).unwrap();
         for _ in 0..churns {
             let addr = k.sys_mmap(None, 64 * PAGE_SIZE);
-            k.prefault(addr, 8);
+            k.prefault(addr, 8).unwrap();
             k.sys_munmap(addr, 64 * PAGE_SIZE);
             k.run_idle(2_000_000); // full reclaim sweep
             // The working set must still be readable (and re-faultable).
-            k.user_read(USER_BASE, 32 * PAGE_SIZE);
+            k.user_read(USER_BASE, 32 * PAGE_SIZE).unwrap();
         }
         prop_assert_eq!(k.stats.segfaults, 0);
+    }
+
+    /// Robustness under fire: random mixes of syscalls, in-VMA accesses and
+    /// wild pointers, driven under a heavy fault injector, never panic the
+    /// host — every failure surfaces as a `KernelError` — and after tearing
+    /// every task down the allocator has all its user frames back.
+    #[test]
+    fn fault_injection_never_panics_host(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..8, 0u32..64), 1..50),
+    ) {
+        let mut cfg = KernelConfig::optimized();
+        cfg.fault_injection = Some(kernel_sim::FaultInjection::heavy(seed));
+        let mut k = Kernel::boot(MachineConfig::ppc604_185(), cfg);
+        let free0 = k.frames.free_frames();
+        for &(op, arg) in &ops {
+            if k.current.is_none() {
+                match k.spawn_process(4) {
+                    Ok(pid) => k.switch_to(pid),
+                    Err(_) => break,
+                }
+            }
+            match op {
+                0 => { let _ = k.user_write(USER_BASE + (arg % 4) * PAGE_SIZE, 4); }
+                // May run past the 4-page working set: SIGSEGV territory.
+                1 => { let _ = k.user_read(USER_BASE + arg * PAGE_SIZE, 4); }
+                2 => { let _ = k.sys_brk(1 + arg % 16); }
+                3 => { let _ = k.sys_fork(); }
+                4 => k.sys_null(),
+                // Wild pointer between heap and stack: no VMA can be there.
+                5 => { let _ = k.user_write(0x5000_0000 + arg * PAGE_SIZE, 4); }
+                6 => { let _ = k.signal_roundtrip(USER_BASE); }
+                _ => {
+                    if let Ok(pid) = k.spawn_process(2) {
+                        k.switch_to(pid);
+                    }
+                }
+            }
+        }
+        // Tear everything down; the allocator must get every frame back.
+        while let Some(pid) = k.tasks.iter().find(|t| t.is_alive()).map(|t| t.pid) {
+            k.switch_to(pid);
+            k.exit_current();
+        }
+        prop_assert_eq!(k.frames.free_frames(), free0);
+    }
+
+    /// Determinism: the same injector seed produces bit-identical statistics
+    /// and cycle counts across two runs of the same workload.
+    #[test]
+    fn same_seed_is_bit_identical(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut cfg = KernelConfig::optimized();
+            cfg.fault_injection = Some(kernel_sim::FaultInjection::heavy(seed));
+            let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
+            let pid = k.spawn_process(8).unwrap();
+            k.switch_to(pid);
+            for i in 0..24u32 {
+                let _ = k.user_write(USER_BASE + (i % 12) * PAGE_SIZE, 8);
+                if i % 5 == 0 && k.current.is_some() {
+                    let _ = k.sys_fork();
+                }
+                if k.current.is_none() {
+                    break;
+                }
+            }
+            (k.stats, k.machine.cycles)
+        };
+        prop_assert_eq!(run(seed), run(seed));
     }
 }

@@ -138,7 +138,7 @@ mod tests {
             page_index: 0x1234,
             offset: 0,
         };
-        assert_eq!(va.vpn(), 0xabcdef_1234);
+        assert_eq!(va.vpn(), 0x00ab_cdef_1234);
     }
 
     #[test]

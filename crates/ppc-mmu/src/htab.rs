@@ -45,6 +45,9 @@ pub struct HtabStats {
     pub inserts_into_empty: u64,
     /// Inserts that displaced a slot whose valid bit was set.
     pub evictions: u64,
+    /// Inserts that found *both* candidate PTEGs completely full (the
+    /// overflow condition: sixteen probes, then a forced displacement).
+    pub overflows: u64,
     /// Explicit invalidations of single entries.
     pub invalidates: u64,
     /// Zombie entries physically invalidated by the idle-task reclaim scan.
@@ -96,6 +99,10 @@ pub struct InsertOutcome {
     pub secondary: bool,
     /// Number of PTE slots read while looking for a free slot.
     pub probes: u32,
+    /// Whether both candidate PTEGs were completely full, forcing a
+    /// displacement (the hash-table overflow condition). When set,
+    /// `displaced` is always `Some`.
+    pub overflow: bool,
 }
 
 /// The architected hashed page table: `num_groups` PTEGs of eight entries,
@@ -260,6 +267,7 @@ impl HashTable {
                         displaced: None,
                         secondary,
                         probes,
+                        overflow: false,
                     };
                 }
             }
@@ -289,11 +297,13 @@ impl HashTable {
         self.groups[g as usize][slot] = pte;
         visit(self.slot_pa(g, slot));
         self.stats.evictions += 1;
+        self.stats.overflows += 1;
         InsertOutcome {
             location: (g, slot),
             displaced: Some(displaced),
             secondary: false,
             probes,
+            overflow: true,
         }
     }
 

@@ -18,7 +18,7 @@ fn main() {
     let parent = k.spawn_process(32).unwrap();
     k.switch_to(parent);
     let base = kernel_sim::sched::USER_BASE;
-    k.prefault(base, 32);
+    k.prefault(base, 32).expect("working set fits in memory");
     println!(
         "parent faulted in 32 pages; free frames: {}",
         k.frames.free_frames()
@@ -37,7 +37,8 @@ fn main() {
     k.switch_to(child);
     let c0 = k.machine.cycles;
     for i in 0..8 {
-        k.data_ref(ppc_mmu::addr::EffectiveAddress(base + i * PAGE_SIZE), true);
+        k.data_ref(ppc_mmu::addr::EffectiveAddress(base + i * PAGE_SIZE), true)
+            .expect("in-VMA write");
     }
     println!(
         "child dirtied 8 pages: {:.1} us, {} COW faults, free frames now {}",
@@ -50,7 +51,8 @@ fn main() {
     // originals); writing one costs the parent a COW break too.
     k.switch_to(parent);
     let before = k.stats.cow_faults;
-    k.data_ref(ppc_mmu::addr::EffectiveAddress(base), true);
+    k.data_ref(ppc_mmu::addr::EffectiveAddress(base), true)
+        .expect("in-VMA write");
     println!(
         "parent wrote page 0: {} more COW fault(s)",
         k.stats.cow_faults - before
@@ -62,7 +64,8 @@ fn main() {
     k.exit_current();
     let frames_before = k.frames.free_frames();
     let before = k.stats.cow_faults;
-    k.data_ref(ppc_mmu::addr::EffectiveAddress(base + 16 * PAGE_SIZE), true);
+    k.data_ref(ppc_mmu::addr::EffectiveAddress(base + 16 * PAGE_SIZE), true)
+        .expect("in-VMA write");
     println!(
         "\nafter child exit, parent wrote a still-shared page: {} fault(s), {} frames copied",
         k.stats.cow_faults - before,

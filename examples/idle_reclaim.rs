@@ -27,7 +27,8 @@ fn run(idle_reclaim: bool) {
     let pids: Vec<_> = (0..4).map(|_| k.spawn_process(64).unwrap()).collect();
     for &pid in &pids {
         k.switch_to(pid);
-        k.prefault(kernel_sim::sched::USER_BASE, 64);
+        k.prefault(kernel_sim::sched::USER_BASE, 64)
+            .expect("working set fits in memory");
     }
     println!("round  valid  zombies  evict-ratio  reclaimed");
     for round in 0..12 {
@@ -37,10 +38,11 @@ fn run(idle_reclaim: bool) {
             // the whole context, turning its hash-table entries into
             // zombies.
             let addr = k.sys_mmap(None, 320 * PAGE_SIZE);
-            k.prefault(addr, 320);
+            k.prefault(addr, 320).expect("scratch region fits in memory");
             k.sys_munmap(addr, 320 * PAGE_SIZE);
             // Re-touch the live working set so its entries keep mattering.
-            k.user_read(kernel_sim::sched::USER_BASE, 64 * PAGE_SIZE);
+            k.user_read(kernel_sim::sched::USER_BASE, 64 * PAGE_SIZE)
+                .expect("in-VMA read");
             // The I/O wait in which the idle task runs.
             k.run_idle(200_000);
         }

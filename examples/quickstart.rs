@@ -18,15 +18,15 @@ fn main() {
     let pid = k.spawn_process(64).expect("out of memory");
     k.switch_to(pid);
     let base = kernel_sim::sched::USER_BASE;
-    k.prefault(base, 64);
+    k.prefault(base, 64).expect("working set fits in memory");
     println!("after faulting in 64 pages:");
     println!("  page faults        {}", k.stats.page_faults);
     println!("  TLB reloads        {}", k.stats.tlb_reloads);
     println!("  htab valid entries {}", k.htab.valid_entries());
 
     // Re-read the working set: TLB and cache are warm now.
-    let cold = k.user_read(base, 64 * PAGE_SIZE);
-    let warm = k.user_read(base, 64 * PAGE_SIZE);
+    let cold = k.user_read(base, 64 * PAGE_SIZE).expect("in-VMA read");
+    let warm = k.user_read(base, 64 * PAGE_SIZE).expect("in-VMA read");
     println!("\nsequential re-read of 256 KiB:");
     println!("  first pass  {} cycles", cold);
     println!("  second pass {} cycles", warm);
