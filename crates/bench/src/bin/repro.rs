@@ -2,11 +2,20 @@
 //! and Other MMU Tricks* (OSDI 1999).
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro -- <experiment|all> [--full] [--markdown|--csv]
+//! cargo run -p bench --release --bin repro -- <experiment|all> \
+//!     [--depth quick|full] [--full] [--markdown|--csv] \
+//!     [--json <path>] [--trace-out <path>]
 //! ```
+//!
+//! `--json` writes a machine-readable run report: every rendered table plus,
+//! for the `trace` experiment, the full `metrics.json` payload (cycle
+//! attribution, latency percentiles, PTEG heatmap, tracer overhead).
+//! `--trace-out` writes the Chrome `trace_event` timeline. Both artifacts
+//! are deterministic, so CI can diff them across commits.
 
-use bench::{depth_from_args, EXPERIMENTS};
+use bench::{depth_from_args, flag_value, positional_args, EXPERIMENTS};
 use mmu_tricks::experiments as ex;
+use mmu_tricks::experiments::TraceArtifacts;
 use mmu_tricks::tables::Table;
 use mmu_tricks::Depth;
 
@@ -15,11 +24,9 @@ fn main() {
     let depth = depth_from_args(&args);
     let markdown = args.iter().any(|a| a == "--markdown");
     let csv = args.iter().any(|a| a == "--csv");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let json_path = flag_value(&args, "--json");
+    let trace_out = flag_value(&args, "--trace-out");
+    let wanted = positional_args(&args);
     if wanted.is_empty() {
         usage();
         return;
@@ -33,9 +40,10 @@ fn main() {
     } else {
         Style::Plain
     };
+    let mut out = RunOutput::default();
     for (id, _) in EXPERIMENTS {
         if run_all || wanted.contains(id) {
-            run(id, depth, style);
+            run(id, depth, style, &mut out);
             ran += 1;
         }
     }
@@ -44,25 +52,74 @@ fn main() {
         usage();
         std::process::exit(1);
     }
+    if let Some(path) = json_path {
+        let report = out.run_report(depth);
+        write_artifact(&path, &report);
+    }
+    if let Some(path) = trace_out {
+        let chrome = out.ensure_artifacts(depth).chrome_json.clone();
+        write_artifact(&path, &chrome);
+    }
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn usage() {
     println!("repro — regenerate the paper's tables and figures\n");
-    println!("usage: repro <experiment...|all> [--full] [--markdown|--csv]\n");
+    println!(
+        "usage: repro <experiment...|all> [--depth quick|full] [--full] \
+         [--markdown|--csv] [--json <path>] [--trace-out <path>]\n"
+    );
     println!("experiments:");
     for (id, desc) in EXPERIMENTS {
         println!("  {id:<16} {desc}");
     }
-    println!("\n--full      paper-sized iteration counts (slower)");
+    println!("\n--depth     quick (CI-sized, default) or full (paper-sized)");
+    println!("--full      shorthand for --depth full");
     println!("--markdown  render tables as markdown");
     println!("--csv       render tables as CSV");
+    println!("--json      write a machine-readable run report (metrics.json)");
+    println!("--trace-out write the Chrome trace_event timeline JSON");
 }
 
-fn emit(t: &Table, style: Style) {
-    match style {
-        Style::Markdown => println!("{}", t.render_markdown()),
-        Style::Csv => println!("{}", t.render_csv()),
-        Style::Plain => println!("{}", t.render()),
+/// Everything a run accumulates for the `--json` / `--trace-out` artifacts.
+#[derive(Default)]
+struct RunOutput {
+    tables: Vec<Table>,
+    artifacts: Option<TraceArtifacts>,
+}
+
+impl RunOutput {
+    /// The traced reference run, computed at most once.
+    fn ensure_artifacts(&mut self, depth: Depth) -> &TraceArtifacts {
+        if self.artifacts.is_none() {
+            self.artifacts = Some(ex::trace_artifacts(depth).0);
+        }
+        self.artifacts.as_ref().unwrap()
+    }
+
+    /// The `--json` run report: the metrics payload spliced with one JSON
+    /// object per rendered table. Deterministic — no timestamps, no paths.
+    fn run_report(&mut self, depth: Depth) -> String {
+        let metrics = self.ensure_artifacts(depth).metrics_fragment();
+        let mut s = String::from("{\n");
+        s.push_str(&metrics);
+        s.push_str(",\n  \"experiments\": [\n");
+        for (i, t) in self.tables.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&t.render_json());
+            s.push_str(if i + 1 < self.tables.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
     }
 }
 
@@ -74,7 +131,16 @@ enum Style {
     Csv,
 }
 
-fn run(id: &str, depth: Depth, markdown: Style) {
+fn emit(t: &Table, style: Style, out: &mut RunOutput) {
+    match style {
+        Style::Markdown => println!("{}", t.render_markdown()),
+        Style::Csv => println!("{}", t.render_csv()),
+        Style::Plain => println!("{}", t.render()),
+    }
+    out.tables.push(t.clone());
+}
+
+fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
     match id {
         "fig1" => {
             println!(
@@ -82,38 +148,45 @@ fn run(id: &str, depth: Depth, markdown: Style) {
                 ex::translation_walkthrough(0x3012_3abc, 0x123456, 0x54321)
             );
         }
-        "bat" => emit(&ex::exp_bat(depth).1, markdown),
-        "hash-util" => emit(&ex::exp_hash_util(depth).1, markdown),
-        "fast-reload" => emit(&ex::exp_fast_reload(depth).1, markdown),
-        "table1" => emit(&ex::table1(depth).1, markdown),
-        "lazy" => emit(&ex::exp_lazy(depth).1, markdown),
-        "idle-reclaim" => emit(&ex::exp_idle_reclaim(depth).1, markdown),
-        "mmap-cutoff" => emit(&ex::exp_mmap_cutoff(depth).1, markdown),
-        "table2" => emit(&ex::table2(depth).1, markdown),
-        "cache-pollution" => emit(&ex::exp_cache_pollution(depth).1, markdown),
-        "page-clear" => emit(&ex::exp_page_clear(depth).1, markdown),
-        "table3" => emit(&ex::table3(depth).1, markdown),
-        "extensions" => emit(&ex::exp_extensions(depth).1, markdown),
+        "bat" => emit(&ex::exp_bat(depth).1, style, out),
+        "hash-util" => emit(&ex::exp_hash_util(depth).1, style, out),
+        "fast-reload" => emit(&ex::exp_fast_reload(depth).1, style, out),
+        "table1" => emit(&ex::table1(depth).1, style, out),
+        "lazy" => emit(&ex::exp_lazy(depth).1, style, out),
+        "idle-reclaim" => emit(&ex::exp_idle_reclaim(depth).1, style, out),
+        "mmap-cutoff" => emit(&ex::exp_mmap_cutoff(depth).1, style, out),
+        "table2" => emit(&ex::table2(depth).1, style, out),
+        "cache-pollution" => emit(&ex::exp_cache_pollution(depth).1, style, out),
+        "page-clear" => emit(&ex::exp_page_clear(depth).1, style, out),
+        "table3" => emit(&ex::table3(depth).1, style, out),
+        "extensions" => emit(&ex::exp_extensions(depth).1, style, out),
         "trace" => {
             emit(
                 &ex::trace_compile(depth, mmu_tricks::KernelConfig::unoptimized()).1,
-                markdown,
+                style,
+                out,
             );
             emit(
                 &ex::trace_compile(depth, mmu_tricks::KernelConfig::optimized()).1,
-                markdown,
+                style,
+                out,
             );
+            let (art, tables) = ex::trace_artifacts(depth);
+            for t in &tables {
+                emit(t, style, out);
+            }
+            out.artifacts = Some(art);
         }
-        "memhier" => emit(&ex::memory_hierarchy(depth).1, markdown),
-        "ablate-htab-size" => emit(&ex::ablate_htab_size(depth).1, markdown),
-        "ablate-scatter" => emit(&ex::ablate_scatter(depth).1, markdown),
-        "ablate-reclaim" => emit(&ex::ablate_reclaim_policy(depth).1, markdown),
-        "ablate-tlb" => emit(&ex::ablate_tlb_reach(depth).1, markdown),
-        "io-bat" => emit(&ex::exp_io_bat(depth).1, markdown),
-        "ablate-replacement" => emit(&ex::ablate_replacement(depth).1, markdown),
-        "lmbench-extended" => emit(&ex::extended_suite(depth).1, markdown),
-        "multiuser" => emit(&ex::exp_multiuser(depth).1, markdown),
-        "pressure" => emit(&ex::exp_pressure(depth).1, markdown),
+        "memhier" => emit(&ex::memory_hierarchy(depth).1, style, out),
+        "ablate-htab-size" => emit(&ex::ablate_htab_size(depth).1, style, out),
+        "ablate-scatter" => emit(&ex::ablate_scatter(depth).1, style, out),
+        "ablate-reclaim" => emit(&ex::ablate_reclaim_policy(depth).1, style, out),
+        "ablate-tlb" => emit(&ex::ablate_tlb_reach(depth).1, style, out),
+        "io-bat" => emit(&ex::exp_io_bat(depth).1, style, out),
+        "ablate-replacement" => emit(&ex::ablate_replacement(depth).1, style, out),
+        "lmbench-extended" => emit(&ex::extended_suite(depth).1, style, out),
+        "multiuser" => emit(&ex::exp_multiuser(depth).1, style, out),
+        "pressure" => emit(&ex::exp_pressure(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

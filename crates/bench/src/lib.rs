@@ -10,13 +10,55 @@
 
 use mmu_tricks::Depth;
 
-/// Parses the common `--full` flag into a depth.
+/// Parses the depth flags: `--depth quick|full`, or the `--full` shorthand.
 pub fn depth_from_args(args: &[String]) -> Depth {
+    if let Some(v) = flag_value(args, "--depth") {
+        match v.as_str() {
+            "full" => return Depth::Full,
+            "quick" => return Depth::Quick,
+            other => {
+                eprintln!("unknown --depth {other:?} (expected quick|full), using quick");
+                return Depth::Quick;
+            }
+        }
+    }
     if args.iter().any(|a| a == "--full") {
         Depth::Full
     } else {
         Depth::Quick
     }
+}
+
+/// Returns the value following a `--flag value` pair, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Command-line flags that consume the next argument (so experiment-id
+/// parsing can skip their values).
+pub const VALUE_FLAGS: &[&str] = &["--depth", "--json", "--trace-out"];
+
+/// The positional (non-flag) arguments, with value-flag payloads removed.
+pub fn positional_args(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            out.push(a.as_str());
+        }
+    }
+    out
 }
 
 /// All experiment ids the `repro` binary accepts, with one-line summaries.
@@ -48,7 +90,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     (
         "trace",
-        "Counter trace: per-unit hardware-monitor samples (4)",
+        "Observability: counter trace, self-time, latency percentiles (4)",
     ),
     (
         "memhier",
@@ -104,6 +146,40 @@ mod tests {
             depth_from_args(&["all".into(), "--full".into()]),
             Depth::Full
         );
+        assert_eq!(
+            depth_from_args(&["--depth".into(), "full".into()]),
+            Depth::Full
+        );
+        assert_eq!(
+            depth_from_args(&["--depth".into(), "quick".into(), "--full".into()]),
+            Depth::Quick,
+            "--depth wins over --full"
+        );
+    }
+
+    #[test]
+    fn positional_args_skip_flag_values() {
+        let args: Vec<String> = [
+            "trace",
+            "--json",
+            "metrics.json",
+            "--trace-out",
+            "trace.json",
+            "--depth",
+            "quick",
+            "pressure",
+            "--markdown",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(positional_args(&args), vec!["trace", "pressure"]);
+        assert_eq!(flag_value(&args, "--json").as_deref(), Some("metrics.json"));
+        assert_eq!(
+            flag_value(&args, "--trace-out").as_deref(),
+            Some("trace.json")
+        );
+        assert_eq!(flag_value(&args, "--missing"), None);
     }
 
     #[test]

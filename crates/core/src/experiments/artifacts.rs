@@ -1,0 +1,344 @@
+//! Machine-readable run artifacts: the §4 measurement loop as files.
+//!
+//! [`trace_artifacts`] runs one deterministic workload twice — tracer off,
+//! then tracer on — and packages everything the observability layer
+//! captured into two artifacts a CI job can diff across commits:
+//!
+//! * `metrics.json` — flat counters: total cycles, the measured tracer
+//!   overhead (zero by construction, and *checked* here), per-subsystem
+//!   cycle attribution, latency percentiles for the three hot paths,
+//!   every [`KernelStats`] counter, and the per-PTEG insert/collision
+//!   heatmap;
+//! * a Chrome `trace_event` JSON timeline (load it in `about:tracing` or
+//!   Perfetto) with cycle stamps as timestamps.
+//!
+//! Both are byte-for-byte reproducible: no wall-clock timestamps, no
+//! paths, no floating-point formatting that varies run to run.
+
+use kernel_sim::sched::USER_BASE;
+use kernel_sim::{Kernel, KernelConfig, KernelStats, LatencyPath, Subsystem};
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::PAGE_SIZE;
+
+use crate::tables::Table;
+use crate::Depth;
+
+/// Summary of one latency histogram: count, range, and the percentiles the
+/// paper's tables quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Path name (`tlb_reload`, `page_fault`, `signal_delivery`).
+    pub path: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (cycles).
+    pub min: u64,
+    /// Largest sample (cycles).
+    pub max: u64,
+    /// Mean in milli-cycles (×1000, kept integral for determinism).
+    pub mean_millicycles: u64,
+    /// 50th percentile (cycles).
+    pub p50: u64,
+    /// 90th percentile (cycles).
+    pub p90: u64,
+    /// 99th percentile (cycles).
+    pub p99: u64,
+}
+
+/// Everything the traced reference run produced, ready for export.
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// Depth the workload ran at (`quick` or `full`).
+    pub depth: &'static str,
+    /// Total cycles of the traced run.
+    pub total_cycles: u64,
+    /// `|traced - untraced|` cycles for the same workload. The tracer is
+    /// purely observational, so this is zero; CI fails if it ever is not.
+    pub overhead_cycles: u64,
+    /// `(subsystem, self cycles)` in [`Subsystem::ALL`] order; sums to
+    /// [`TraceArtifacts::total_cycles`] exactly.
+    pub attribution: Vec<(&'static str, u64)>,
+    /// One summary per [`LatencyPath`].
+    pub latency: Vec<LatencySummary>,
+    /// Kernel counters for the run.
+    pub stats: KernelStats,
+    /// Hash-table inserts per PTEG (index = group).
+    pub pteg_inserts: Vec<u32>,
+    /// Inserts per PTEG that displaced a live entry.
+    pub pteg_collisions: Vec<u32>,
+    /// Ring capacity.
+    pub ring_capacity: usize,
+    /// Records still in the ring.
+    pub ring_recorded: usize,
+    /// Records pushed over the run (≥ recorded).
+    pub ring_pushed: u64,
+    /// Records overwritten by wrap-around.
+    pub ring_dropped: u64,
+    /// Chrome `trace_event` JSON of the ring.
+    pub chrome_json: String,
+}
+
+impl TraceArtifacts {
+    /// Sum of the attribution buckets (equals `total_cycles`).
+    pub fn attribution_total(&self) -> u64 {
+        self.attribution.iter().map(|(_, c)| c).sum()
+    }
+
+    /// The `metrics.json` body: a single flat, deterministic JSON object.
+    pub fn metrics_json(&self) -> String {
+        format!("{{\n{}\n}}\n", self.metrics_fragment())
+    }
+
+    /// The key/value pairs of [`TraceArtifacts::metrics_json`] without the
+    /// surrounding braces, so callers can splice them into a larger
+    /// document (the `repro --json` run report does).
+    pub fn metrics_fragment(&self) -> String {
+        let mut s = String::new();
+        s.push_str("  \"schema\": \"mmu-tricks-metrics-v1\",\n");
+        s.push_str("  \"workload\": \"compile+signals\",\n");
+        s.push_str(&format!("  \"depth\": \"{}\",\n", self.depth));
+        s.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
+        s.push_str(&format!(
+            "  \"overhead_cycles\": {},\n",
+            self.overhead_cycles
+        ));
+        s.push_str("  \"attribution\": {");
+        for (i, (name, cycles)) in self.attribution.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {cycles}"));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!(
+            "  \"attribution_total\": {},\n",
+            self.attribution_total()
+        ));
+        s.push_str("  \"latency\": {\n");
+        for (i, l) in self.latency.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean_millicycles\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                l.path, l.count, l.min, l.max, l.mean_millicycles, l.p50, l.p90, l.p99
+            ));
+            s.push_str(if i + 1 < self.latency.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"stats\": {");
+        for (i, (name, v)) in self.stats.as_named_pairs().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {v}"));
+        }
+        s.push_str("},\n");
+        let join = |v: &[u32]| {
+            v.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        s.push_str(&format!(
+            "  \"pteg\": {{\"groups\": {}, \"inserts_total\": {}, \"collisions_total\": {}, \
+             \"inserts\": [{}], \"collisions\": [{}]}},\n",
+            self.pteg_inserts.len(),
+            self.pteg_inserts.iter().map(|&n| u64::from(n)).sum::<u64>(),
+            self.pteg_collisions
+                .iter()
+                .map(|&n| u64::from(n))
+                .sum::<u64>(),
+            join(&self.pteg_inserts),
+            join(&self.pteg_collisions),
+        ));
+        s.push_str(&format!(
+            "  \"ring\": {{\"capacity\": {}, \"recorded\": {}, \"pushed\": {}, \"dropped\": {}}}",
+            self.ring_capacity, self.ring_recorded, self.ring_pushed, self.ring_dropped
+        ));
+        s
+    }
+}
+
+/// The reference workload: the paper's compile, then a signal-heavy coda so
+/// all three latency paths (TLB reload, page fault, signal delivery) carry
+/// samples, then an idle sweep. Fully deterministic.
+fn workload(k: &mut Kernel, depth: Depth) {
+    lmbench::compile::kernel_compile(k, depth.compile());
+    let pid = k.spawn_process(8).expect("room for the signal task");
+    k.switch_to(pid);
+    k.user_write(USER_BASE, PAGE_SIZE).expect("prefault handler page");
+    k.sys_signal_install();
+    let rounds = match depth {
+        Depth::Quick => 32,
+        Depth::Full => 256,
+    };
+    for _ in 0..rounds {
+        k.signal_roundtrip(USER_BASE).expect("handler installed");
+    }
+    k.run_idle(100_000);
+    k.exit_current();
+}
+
+/// Runs the reference workload untraced and traced on the optimized kernel
+/// (604/133), measures the tracer's cycle overhead (zero), and returns the
+/// artifacts plus rendered tables: subsystem self-time and latency
+/// percentiles.
+pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
+    let run = |trace: bool| -> Kernel {
+        let mut cfg = KernelConfig::optimized();
+        cfg.trace = trace;
+        let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
+        workload(&mut k, depth);
+        k
+    };
+    let off = run(false);
+    let mut on = run(true);
+    let total_cycles = on.machine.cycles;
+    let overhead_cycles = total_cycles.abs_diff(off.machine.cycles);
+    let stats = on.stats;
+    let now = on.machine.cycles;
+    let t = on.tracer.as_mut().expect("tracer enabled");
+    t.prof.finish(now);
+
+    let attribution: Vec<(&'static str, u64)> = Subsystem::ALL
+        .iter()
+        .map(|&s| (s.name(), t.prof.self_cycles(s)))
+        .collect();
+    let latency: Vec<LatencySummary> = LatencyPath::ALL
+        .iter()
+        .map(|&p| {
+            let h = t.latency(p);
+            let (p50, p90, p99) = h.percentiles();
+            LatencySummary {
+                path: p.name(),
+                count: h.count(),
+                min: h.min(),
+                max: h.max(),
+                mean_millicycles: (h.mean() * 1000.0).round() as u64,
+                p50,
+                p90,
+                p99,
+            }
+        })
+        .collect();
+
+    let art = TraceArtifacts {
+        depth: match depth {
+            Depth::Quick => "quick",
+            Depth::Full => "full",
+        },
+        total_cycles,
+        overhead_cycles,
+        attribution,
+        latency,
+        stats,
+        pteg_inserts: t.pteg_inserts.clone(),
+        pteg_collisions: t.pteg_collisions.clone(),
+        ring_capacity: kernel_sim::trace::DEFAULT_RING_CAPACITY,
+        ring_recorded: t.ring.len(),
+        ring_pushed: t.ring.total_pushed(),
+        ring_dropped: t.ring.dropped(),
+        chrome_json: t.chrome_trace_json(),
+    };
+
+    let mut self_time = Table::new(
+        "Self-time by subsystem (604 133MHz, optimized kernel, traced run)",
+        vec!["subsystem".into(), "cycles".into(), "share".into()],
+    );
+    let mut rows: Vec<(&'static str, u64)> = art.attribution.clone();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (name, cycles) in rows {
+        self_time.push_row(vec![
+            name.into(),
+            format!("{cycles}"),
+            format!("{:.1}%", 100.0 * cycles as f64 / art.total_cycles as f64),
+        ]);
+    }
+    self_time.push_row(vec![
+        "total".into(),
+        format!("{}", art.attribution_total()),
+        format!(
+            "tracer overhead: {} cycles",
+            art.overhead_cycles
+        ),
+    ]);
+
+    let mut lat = Table::new(
+        "Latency percentiles (cycles) per instrumented path",
+        vec![
+            "path".into(),
+            "count".into(),
+            "min".into(),
+            "p50".into(),
+            "p90".into(),
+            "p99".into(),
+            "max".into(),
+        ],
+    );
+    for l in &art.latency {
+        lat.push_row(vec![
+            l.path.into(),
+            format!("{}", l.count),
+            format!("{}", l.min),
+            format!("{}", l.p50),
+            format!("{}", l.p90),
+            format!("{}", l.p99),
+            format!("{}", l.max),
+        ]);
+    }
+
+    (art, vec![self_time, lat])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_deterministic_and_overhead_free() {
+        let (a, _) = trace_artifacts(Depth::Quick);
+        let (b, _) = trace_artifacts(Depth::Quick);
+        assert_eq!(a.overhead_cycles, 0, "tracing must not charge cycles");
+        assert_eq!(a.metrics_json(), b.metrics_json());
+        assert_eq!(a.chrome_json, b.chrome_json);
+    }
+
+    #[test]
+    fn attribution_sums_and_latency_paths_populate() {
+        let (a, tables) = trace_artifacts(Depth::Quick);
+        assert_eq!(a.attribution_total(), a.total_cycles);
+        assert_eq!(a.latency.len(), 3);
+        for l in &a.latency {
+            assert!(l.count > 0, "{} has no samples", l.path);
+            assert!(l.p50 <= l.p90 && l.p90 <= l.p99, "{}", l.path);
+        }
+        assert!(a.pteg_inserts.iter().any(|&n| n > 0));
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn metrics_json_has_the_required_keys_and_balances() {
+        let (a, _) = trace_artifacts(Depth::Quick);
+        let j = a.metrics_json();
+        for key in [
+            "\"schema\"",
+            "\"total_cycles\"",
+            "\"overhead_cycles\": 0",
+            "\"attribution\"",
+            "\"attribution_total\"",
+            "\"tlb_reload\"",
+            "\"page_fault\"",
+            "\"signal_delivery\"",
+            "\"stats\"",
+            "\"pteg\"",
+            "\"ring\"",
+        ] {
+            assert!(j.contains(key), "metrics.json missing {key}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Every kernel counter appears by name.
+        for name in KernelStats::NAMES {
+            assert!(j.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+    }
+}

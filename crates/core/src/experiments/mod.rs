@@ -23,6 +23,7 @@
 //! | E-PRESSURE | [`pressure::exp_pressure`] |
 
 pub mod ablate;
+pub mod artifacts;
 pub mod cache;
 pub mod extended;
 pub mod fig1;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use ablate::{
     ablate_htab_size, ablate_reclaim_policy, ablate_replacement, ablate_scatter, ablate_tlb_reach,
 };
+pub use artifacts::{trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
 pub use extended::extended_suite;
 pub use fig1::translation_walkthrough;

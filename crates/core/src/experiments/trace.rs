@@ -40,7 +40,7 @@ pub fn trace_compile(depth: Depth, kcfg: KernelConfig) -> (Vec<TraceSample>, Tab
         let k0 = k.stats;
         lmbench::compile::kernel_compile(&mut k, unit_cfg);
         let dm = k.machine.snapshot().delta(&m0);
-        let dk = k.stats.delta(&k0);
+        let dk = k.stats.diff(&k0);
         samples.push(TraceSample {
             cycles: dm.cycles,
             tlb_misses: dm.tlb_misses(),

@@ -82,6 +82,31 @@ impl Table {
         out
     }
 
+    /// Renders as a JSON object `{"title", "columns", "rows"}` — the shape
+    /// the `repro --json` run report embeds, one object per experiment.
+    pub fn render_json(&self) -> String {
+        let arr = |cells: &[String]| {
+            let inner = cells
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("[{inner}]")
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| arr(r))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"title\": \"{}\", \"columns\": {}, \"rows\": [{}]}}",
+            json_escape(&self.title),
+            arr(&self.columns),
+            rows
+        )
+    }
+
     /// Renders as a GitHub-flavoured markdown table.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
@@ -93,6 +118,23 @@ impl Table {
         }
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders a series as a Unicode sparkline (▁▂▃▄▅▆▇█), scaled to its own
@@ -175,6 +217,18 @@ mod tests {
         let csv = t.render_csv();
         assert!(csv.starts_with("a,b\n"));
         assert!(csv.contains("plain,\"with, comma\""));
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let mut t = Table::new("Quote \"me\"", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x\\y".into(), "line\nbreak".into()]);
+        let j = t.render_json();
+        assert!(j.contains("Quote \\\"me\\\""));
+        assert!(j.contains("x\\\\y"));
+        assert!(j.contains("line\\nbreak"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -10,7 +10,9 @@ use crate::fs::PageCacheLookup;
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
 use crate::linuxpt::{LinuxPte, PTE_RW};
+use crate::prof::Subsystem;
 use crate::task::VmaKind;
+use crate::trace::{LatencyPath, TraceEvent};
 
 /// PTEG groups swept per direct-reclaim round (four idle steps' worth —
 /// direct reclaim is in a hurry).
@@ -32,7 +34,17 @@ impl Kernel {
     /// both kill the task (see [`Kernel::deliver_fatal_signal`]) and return
     /// the corresponding [`KernelError::Fatal`]. Out of memory after
     /// reclaim either OOM-kills a victim or fails the fault.
-    pub(crate) fn page_fault(&mut self, ea: EffectiveAddress, _at: AccessType) -> KResult<()> {
+    pub(crate) fn page_fault(&mut self, ea: EffectiveAddress, at: AccessType) -> KResult<()> {
+        // Span bracket around the fallible body so the profiler stack stays
+        // balanced on the fatal-signal early returns.
+        self.t_event(|| TraceEvent::PageFault { ea: ea.0 });
+        let t0 = self.t_enter(Subsystem::PageFault);
+        let r = self.page_fault_inner(ea, at);
+        self.t_exit_lat(t0, LatencyPath::PageFault);
+        r
+    }
+
+    fn page_fault_inner(&mut self, ea: EffectiveAddress, _at: AccessType) -> KResult<()> {
         self.stats.page_faults += 1;
         let costs = self.machine.cfg.costs;
         self.machine.charge(costs.exception_entry);
@@ -166,6 +178,13 @@ impl Kernel {
     /// reclaim but synchronous), then eviction of clean, unmapped
     /// page-cache pages. Returns the number of page frames freed.
     pub(crate) fn memory_pressure_reclaim(&mut self) -> usize {
+        self.t_enter(Subsystem::Reclaim);
+        let evicted = self.memory_pressure_reclaim_inner();
+        self.t_exit();
+        evicted
+    }
+
+    fn memory_pressure_reclaim_inner(&mut self) -> usize {
         self.run_kernel_path(KernelPath::Mm, RECLAIM_PASS_INSNS);
         let cached = self.cfg.htab_cached;
         self.reclaim_chunk(PRESSURE_RECLAIM_GROUPS, cached);
@@ -201,6 +220,13 @@ impl Kernel {
     /// task holds frames at all, returns `Ok(false)` — genuinely out of
     /// memory.
     pub(crate) fn oom_kill(&mut self) -> KResult<bool> {
+        self.t_enter(Subsystem::Reclaim);
+        let r = self.oom_kill_inner();
+        self.t_exit();
+        r
+    }
+
+    fn oom_kill_inner(&mut self) -> KResult<bool> {
         self.run_kernel_path(KernelPath::Mm, RECLAIM_PASS_INSNS);
         // Badness scan: one task-struct read per task considered.
         let mut victim: Option<(usize, usize)> = None;
@@ -221,6 +247,8 @@ impl Kernel {
         match victim {
             Some((idx, _)) => {
                 self.stats.oom_kills += 1;
+                let victim_pid = self.tasks[idx].pid;
+                self.t_event(|| TraceEvent::OomKill { victim: victim_pid });
                 self.teardown_task(idx);
                 Ok(true)
             }
@@ -229,6 +257,8 @@ impl Kernel {
                 match cur {
                     Some(idx) if !self.tasks[idx].frames.is_empty() => {
                         self.stats.oom_kills += 1;
+                        let victim_pid = self.tasks[idx].pid;
+                        self.t_event(|| TraceEvent::OomKill { victim: victim_pid });
                         Err(self.deliver_fatal_signal(Signal::Kill, 0))
                     }
                     _ => Ok(false),

@@ -5,6 +5,8 @@ use ppc_mmu::addr::{EffectiveAddress, Vsid, PAGE_SIZE};
 
 use crate::kernel::Kernel;
 use crate::layout::is_user;
+use crate::prof::Subsystem;
+use crate::trace::TraceEvent;
 
 impl Kernel {
     /// The VSID a user effective address translates under for task `idx`.
@@ -45,6 +47,8 @@ impl Kernel {
     /// plus `tlbie`. This is the expensive primitive the lazy scheme avoids.
     pub fn flush_one_page(&mut self, idx: usize, ea: EffectiveAddress) {
         self.stats.flushed_pages += 1;
+        self.t_event(|| TraceEvent::Flush { pages: 1 });
+        self.t_enter(Subsystem::Flush);
         // The per-page flush C path (`flush_hash_page` and friends).
         let insns = self.paths.flush_per_page;
         self.run_kernel_path(crate::layout::KernelPath::Mm, insns);
@@ -66,6 +70,7 @@ impl Kernel {
         // tlbie + sync.
         self.machine.mmu.tlbie(page_index);
         self.machine.charge(4);
+        self.t_exit();
     }
 
     /// Retires task `idx`'s whole translation context.
@@ -76,6 +81,8 @@ impl Kernel {
     ///   task's entries and flush both TLBs. O(size of hash table).
     pub fn flush_context(&mut self, idx: usize) {
         self.stats.context_bumps += 1;
+        self.t_event(|| TraceEvent::ContextBump);
+        self.t_enter(Subsystem::Flush);
         if self.cfg.lazy_flush {
             // Fresh zombies exist: allow the idle reclaim one full sweep.
             self.reclaim_scan_credit = self.htab.hash().num_groups();
@@ -123,5 +130,6 @@ impl Kernel {
             self.machine.mmu.flush_tlbs();
             self.machine.charge(32);
         }
+        self.t_exit();
     }
 }

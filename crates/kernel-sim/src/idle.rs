@@ -13,6 +13,8 @@ use ppc_machine::Cycles;
 
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
+use crate::prof::Subsystem;
+use crate::trace::TraceEvent;
 
 /// PTEG groups scanned per idle-loop iteration.
 pub const RECLAIM_GROUPS_PER_STEP: u32 = 8;
@@ -22,6 +24,8 @@ impl Kernel {
     /// workloads whenever the simulated system would be waiting for I/O or
     /// has an empty run queue.
     pub fn run_idle(&mut self, budget: Cycles) {
+        self.t_event(|| TraceEvent::Idle { budget });
+        self.t_enter(Subsystem::Idle);
         let start = self.machine.cycles;
         let end = start + budget;
         // Upper bounds on one step of each duty, so a step is only started
@@ -56,6 +60,7 @@ impl Kernel {
             }
         }
         self.stats.idle_cycles += self.machine.cycles - start;
+        self.t_exit();
     }
 
     /// One reclaim step: scan [`RECLAIM_GROUPS_PER_STEP`] PTEGs, clearing
@@ -80,6 +85,7 @@ impl Kernel {
     /// and charging the slot reads. Shared by the idle-task scan and the
     /// §7-rejected on-scarcity reclaim. Returns `(scanned, cleared)` slots.
     pub(crate) fn reclaim_chunk(&mut self, groups: u32, cached: bool) -> (u32, u32) {
+        self.t_enter(Subsystem::Reclaim);
         let start_group = self.htab.reclaim_cursor();
         let vsids = &self.vsids;
         let (scanned, cleared) = self
@@ -95,6 +101,8 @@ impl Kernel {
         }
         cost += cleared as Cycles * 2;
         self.machine.charge(cost);
+        self.t_event(|| TraceEvent::Reclaim { scanned, cleared });
+        self.t_exit();
         (scanned, cleared)
     }
 

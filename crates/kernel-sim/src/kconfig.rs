@@ -133,6 +133,11 @@ pub struct KernelConfig {
     /// Seeded fault injection (allocation failures, hash-table overflow,
     /// forced TLB-reload misses). `None` disables injection entirely.
     pub fault_injection: Option<crate::inject::FaultInjection>,
+    /// Event tracing and cycle-attribution profiling ([`crate::trace`],
+    /// [`crate::prof`]). Purely observational: a traced run charges exactly
+    /// the same cycles as an untraced one; disabled, the kernel carries no
+    /// tracer and every hook is a single branch.
+    pub trace: bool,
 }
 
 impl KernelConfig {
@@ -157,6 +162,7 @@ impl KernelConfig {
             idle_cache_lock: false,
             cache_preloads: false,
             fault_injection: None,
+            trace: false,
         }
     }
 
@@ -179,6 +185,7 @@ impl KernelConfig {
             idle_cache_lock: false,
             cache_preloads: false,
             fault_injection: None,
+            trace: false,
         }
     }
 

@@ -17,8 +17,10 @@ use crate::layout::{
 use crate::linuxpt::LinuxPageTables;
 use crate::physmem::{FrameAllocator, PhysMem};
 use crate::pipe::Pipe;
+use crate::prof::Subsystem;
 use crate::stats::KernelStats;
 use crate::task::{Pid, Task};
+use crate::trace::{LatencyPath, TraceEvent, TraceRecord, Tracer};
 use crate::vsid::{kernel_vsid, VsidAllocator};
 
 /// Per-path instruction counts: how long each kernel code path is.
@@ -168,6 +170,9 @@ pub struct Kernel {
     /// The seeded fault injector, when [`KernelConfig::fault_injection`] is
     /// set.
     pub(crate) injector: Option<FaultInjector>,
+    /// The event tracer + cycle profiler, when [`KernelConfig::trace`] is
+    /// set. Boxed so an untraced kernel carries one pointer of overhead.
+    pub tracer: Option<Box<Tracer>>,
 }
 
 impl Kernel {
@@ -233,6 +238,11 @@ impl Kernel {
             shared_frames: std::collections::HashMap::new(),
             file_map_refs: std::collections::HashMap::new(),
             injector: cfg.fault_injection.map(FaultInjector::new),
+            tracer: if cfg.trace {
+                Some(Box::new(Tracer::new(HTAB_GROUPS, 0)))
+            } else {
+                None
+            },
         }
     }
 
@@ -250,7 +260,63 @@ impl Kernel {
     ) -> Self {
         let mut k = Self::boot(machine_cfg, cfg);
         k.htab = HashTable::new(groups, HTAB_PA);
+        if let Some(t) = k.tracer.as_mut() {
+            t.resize_groups(groups);
+        }
         k
+    }
+
+    /// PID of the current task, or 0 when the kernel itself is running.
+    pub fn current_pid(&self) -> Pid {
+        self.current.map_or(0, |i| self.tasks[i].pid)
+    }
+
+    /// Records `event` in the trace ring when tracing is enabled; the
+    /// closure never runs otherwise (zero-cost-when-disabled).
+    #[inline]
+    pub(crate) fn t_event(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if self.tracer.is_some() {
+            let rec = TraceRecord {
+                cycle: self.machine.cycles,
+                pid: self.current_pid(),
+                event: event(),
+            };
+            if let Some(t) = self.tracer.as_mut() {
+                t.ring.push(rec);
+            }
+        }
+    }
+
+    /// Opens a profiler span for `s`. Returns the entry cycle so the
+    /// matching [`Kernel::t_exit_lat`] can compute a latency sample; the
+    /// caller must close the span on every path out of its scope.
+    #[inline]
+    pub(crate) fn t_enter(&mut self, s: Subsystem) -> Cycles {
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.enter(s, now);
+        }
+        now
+    }
+
+    /// Closes the innermost profiler span.
+    #[inline]
+    pub(crate) fn t_exit(&mut self) {
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.exit(now);
+        }
+    }
+
+    /// Closes the innermost span and records `now - t0` as a latency sample
+    /// for `path`.
+    #[inline]
+    pub(crate) fn t_exit_lat(&mut self, t0: Cycles, path: LatencyPath) {
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.exit(now);
+            t.record_latency(path, now.saturating_sub(t0));
+        }
     }
 
     /// The currently running task.
@@ -448,21 +514,28 @@ impl Kernel {
         if kernel_side {
             self.stats.kernel_reloads += 1;
         }
+        self.t_event(|| TraceEvent::TlbMiss {
+            ea: ea.0,
+            kernel: kernel_side,
+        });
         // A nested miss while already reloading (SlowC handler touching
         // kernel text/data) takes the minimal assembly path and resolves
-        // from the linear map directly.
+        // from the linear map directly. (Any open Translate span from the
+        // outer reload already attributes these cycles.)
         if self.in_reload {
             assert!(kernel_side, "user access inside a reload handler");
             self.machine
                 .charge(self.machine.cfg.costs.tlb_miss_invoke_return.max(32));
             return self.install_kernel_linear(ea, va, at);
         }
+        let t0 = self.t_enter(Subsystem::Translate);
         self.in_reload = true;
         let ok = match self.machine.cfg.model {
             CpuModel::Ppc604 => self.reload_604(ea, va, at),
             CpuModel::Ppc603 => self.reload_603(ea, va, at),
         };
         self.in_reload = false;
+        self.t_exit_lat(t0, LatencyPath::TlbReload);
         ok
     }
 
@@ -698,6 +771,7 @@ impl Kernel {
             insert_htab
         };
         if insert_htab {
+            self.t_enter(Subsystem::HtabInsert);
             let hw_pte = ppc_mmu::pte::Pte {
                 valid: true,
                 vsid: va.vsid,
@@ -723,6 +797,11 @@ impl Kernel {
             if out.overflow {
                 self.stats.htab_overflows += 1;
             }
+            let evicted = out.displaced.is_some_and(|d| d.valid);
+            self.t_event(|| TraceEvent::HtabInsert { pteg: g, evicted });
+            if let Some(t) = self.tracer.as_mut() {
+                t.count_htab_insert(g, evicted);
+            }
             if let Some(d) = out.displaced {
                 if d.valid {
                     if self.vsids.is_live(d.vsid) {
@@ -739,6 +818,7 @@ impl Kernel {
                     }
                 }
             }
+            self.t_exit();
         }
         self.machine.mmu.reload(
             at,

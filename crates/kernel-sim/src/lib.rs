@@ -57,6 +57,7 @@ pub mod os_model;
 pub mod physmem;
 pub mod pipe;
 pub mod process;
+pub mod prof;
 pub mod sched;
 pub mod signal;
 pub mod stats;
@@ -68,6 +69,9 @@ mod tests;
 mod tests_edge;
 #[cfg(test)]
 mod tests_subsystems;
+#[cfg(test)]
+mod tests_trace;
+pub mod trace;
 pub mod vsid;
 
 pub use errors::{KResult, KernelError, Signal};
@@ -75,5 +79,7 @@ pub use inject::{FaultInjection, FaultInjector};
 pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, VsidPolicy};
 pub use kernel::Kernel;
 pub use os_model::OsModel;
+pub use prof::{Profiler, Subsystem};
 pub use stats::KernelStats;
 pub use task::{Pid, Task};
+pub use trace::{Histogram, LatencyPath, TraceEvent, TraceRecord, TraceRing, Tracer};

@@ -13,7 +13,9 @@ use crate::errors::{KResult, KernelError, Signal};
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
 use crate::linuxpt::{LinuxPageTables, LinuxPte, PTE_COW, PTE_RW};
+use crate::prof::Subsystem;
 use crate::task::{Pid, Task, VmaKind};
+use crate::trace::{LatencyPath, TraceEvent};
 
 impl Kernel {
     /// `fork()`: clones the current task. Anonymous pages are shared
@@ -23,6 +25,13 @@ impl Kernel {
     /// if out of page-table pages (the half-built child is rolled back; the
     /// parent keeps running).
     pub fn sys_fork(&mut self) -> KResult<Pid> {
+        self.t_enter(Subsystem::Exec);
+        let r = self.sys_fork_inner();
+        self.t_exit();
+        r
+    }
+
+    fn sys_fork_inner(&mut self) -> KResult<Pid> {
         self.syscall_entry();
         let insns = self.paths.spawn / 2;
         self.run_kernel_path(KernelPath::Exec, insns);
@@ -116,6 +125,13 @@ impl Kernel {
     /// anonymous heap and stack. The old space is torn down with the
     /// configured flush policy — the §7 narrative's "doing an exec()" flush.
     pub fn sys_exec(&mut self, binary: usize, text_pages: u32, heap_pages: u32) -> KResult<()> {
+        self.t_enter(Subsystem::Exec);
+        let r = self.sys_exec_inner(binary, text_pages, heap_pages);
+        self.t_exit();
+        r
+    }
+
+    fn sys_exec_inner(&mut self, binary: usize, text_pages: u32, heap_pages: u32) -> KResult<()> {
         self.syscall_entry();
         let insns = self.paths.spawn;
         self.run_kernel_path(KernelPath::Exec, insns);
@@ -206,6 +222,15 @@ impl Kernel {
     /// — a store to file-backed text, say — is a genuine write-protection
     /// violation: SIGSEGV is delivered and the task dies.
     pub(crate) fn protection_fault(&mut self, ea: EffectiveAddress) -> KResult<()> {
+        // Span bracket around the fallible body so the profiler stack stays
+        // balanced on the SIGSEGV early return.
+        let t0 = self.t_enter(Subsystem::PageFault);
+        let r = self.protection_fault_inner(ea);
+        self.t_exit_lat(t0, LatencyPath::PageFault);
+        r
+    }
+
+    fn protection_fault_inner(&mut self, ea: EffectiveAddress) -> KResult<()> {
         let costs = self.machine.cfg.costs;
         self.machine.charge(costs.exception_entry);
         let insns = self.paths.fault_c;
@@ -222,6 +247,7 @@ impl Kernel {
             }
         };
         self.stats.cow_faults += 1;
+        self.t_event(|| TraceEvent::CowFault { ea: ea.0 });
         let old_pa = pte.pfn() << 12;
         let shared = self.shared_frames.get(&old_pa).copied().unwrap_or(1);
         if shared > 1 {

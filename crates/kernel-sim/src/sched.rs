@@ -6,7 +6,9 @@ use crate::errors::{KResult, KernelError};
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
 use crate::linuxpt::LinuxPageTables;
+use crate::prof::Subsystem;
 use crate::task::{Pid, Task, TaskState, Vma, VmaKind};
+use crate::trace::TraceEvent;
 
 /// Default user text/data/heap base.
 pub const USER_BASE: u32 = 0x1000_0000;
@@ -22,6 +24,13 @@ impl Kernel {
     /// at [`USER_BASE`] and a stack. Returns its PID, or `ENOMEM` when the
     /// page-table pool is exhausted.
     pub fn spawn_process(&mut self, ws_pages: u32) -> KResult<Pid> {
+        self.t_enter(Subsystem::Exec);
+        let r = self.spawn_process_inner(ws_pages);
+        self.t_exit();
+        r
+    }
+
+    fn spawn_process_inner(&mut self, ws_pages: u32) -> KResult<Pid> {
         let insns = self.paths.spawn;
         self.run_kernel_path(KernelPath::Exec, insns);
         let pid = self.alloc_pid();
@@ -72,6 +81,9 @@ impl Kernel {
         if self.current == Some(to) {
             return;
         }
+        let to_pid = self.tasks[to].pid;
+        self.t_event(|| TraceEvent::CtxSwitch { to: to_pid });
+        self.t_enter(Subsystem::Sched);
         // The chosen task leaves the ready queue while it runs; the
         // displaced task goes back on it if still runnable.
         self.run_queue.retain(|&i| i != to);
@@ -111,6 +123,7 @@ impl Kernel {
         self.machine.charge(16 + 3); // 12 mtsr + isync, rounded as the paper's code does
         self.current = Some(to);
         self.stats.ctx_switches += 1;
+        self.t_exit();
     }
 
     /// Voluntarily yields to the next runnable task (round robin).

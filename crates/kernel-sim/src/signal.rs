@@ -12,7 +12,9 @@ use ppc_mmu::addr::EffectiveAddress;
 use crate::errors::{KResult, KernelError, Signal};
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
+use crate::prof::Subsystem;
 use crate::sched::STACK_BASE;
+use crate::trace::{LatencyPath, TraceEvent};
 
 /// Words in a signal frame (saved context + siginfo).
 const SIGFRAME_WORDS: u32 = 40;
@@ -33,6 +35,16 @@ impl Kernel {
     ///
     /// Panics if no task is current.
     pub fn signal_roundtrip(&mut self, handler_ea: u32) -> KResult<()> {
+        // Span bracket around the fallible body so the profiler stack stays
+        // balanced when delivery dies on a fatal signal mid-frame.
+        self.t_event(|| TraceEvent::Signal { fatal: false });
+        let t0 = self.t_enter(Subsystem::Signal);
+        let r = self.signal_roundtrip_inner(handler_ea);
+        self.t_exit_lat(t0, LatencyPath::Signal);
+        r
+    }
+
+    fn signal_roundtrip_inner(&mut self, handler_ea: u32) -> KResult<()> {
         // kill(): queue the signal against the task.
         self.syscall_entry();
         let insns = self.paths.signal / 2;
@@ -68,6 +80,14 @@ impl Kernel {
     /// down and schedules the next runnable one. Returns the
     /// [`KernelError::Fatal`] the interrupted operation propagates.
     pub(crate) fn deliver_fatal_signal(&mut self, signal: Signal, ea: u32) -> KernelError {
+        self.t_event(|| TraceEvent::Signal { fatal: true });
+        let t0 = self.t_enter(Subsystem::Signal);
+        let err = self.deliver_fatal_signal_inner(signal, ea);
+        self.t_exit_lat(t0, LatencyPath::Signal);
+        err
+    }
+
+    fn deliver_fatal_signal_inner(&mut self, signal: Signal, ea: u32) -> KernelError {
         let cur = self.current.expect("fatal signal with no current task");
         match signal {
             Signal::Segv => self.stats.sigsegvs += 1,

@@ -1,56 +1,97 @@
 //! Kernel-level event counters.
+//!
+//! The counter fields are declared once, in [`kernel_stats!`], which
+//! generates the struct, the window-difference [`KernelStats::diff`], and the
+//! name/value iterator [`KernelStats::as_named_pairs`] — so a counter added
+//! to the struct automatically appears in every diff, table, and
+//! machine-readable artifact, and none of them can drift out of sync.
 
-/// Counters the kernel maintains about its own MMU activity (the software
-/// side of the paper's §4 measurement infrastructure).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct KernelStats {
+/// Declares the [`KernelStats`] counters exactly once and derives everything
+/// that must enumerate them.
+macro_rules! kernel_stats {
+    ($($(#[$doc:meta])* $name:ident,)+) => {
+        /// Counters the kernel maintains about its own MMU activity (the
+        /// software side of the paper's §4 measurement infrastructure).
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct KernelStats {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl KernelStats {
+            /// Every counter name, in declaration order — the single source
+            /// of truth for exporters and tables.
+            pub const NAMES: &'static [&'static str] = &[$(stringify!($name),)+];
+
+            /// Difference `self - earlier` for a measurement window.
+            ///
+            /// # Panics
+            ///
+            /// Panics (in debug builds) if any counter of `earlier` exceeds
+            /// `self` — windows must be taken from the same monotonically
+            /// counting kernel.
+            pub fn diff(&self, earlier: &KernelStats) -> KernelStats {
+                KernelStats {
+                    $($name: self.$name - earlier.$name,)+
+                }
+            }
+
+            /// Iterates `(name, value)` over every counter, in declaration
+            /// order.
+            pub fn as_named_pairs(&self) -> impl Iterator<Item = (&'static str, u64)> {
+                [$((stringify!($name), self.$name),)+].into_iter()
+            }
+        }
+    };
+}
+
+kernel_stats! {
     /// TLB reloads performed (software handler or hardware walk completion).
-    pub tlb_reloads: u64,
+    tlb_reloads,
     /// Reloads satisfied by the hash table.
-    pub htab_hits: u64,
+    htab_hits,
     /// Reloads that missed the hash table and walked the Linux page tables.
-    pub htab_misses: u64,
+    htab_misses,
     /// Reloads of kernel-space translations (the OS TLB footprint, §5.1).
-    pub kernel_reloads: u64,
+    kernel_reloads,
     /// Real page faults (demand-zero or file-backed population).
-    pub page_faults: u64,
+    page_faults,
     /// Protection faults that broke copy-on-write sharing.
-    pub cow_faults: u64,
+    cow_faults,
     /// Hash-table inserts that displaced a *live* entry (a real eviction).
-    pub evict_live: u64,
+    evict_live,
     /// Hash-table inserts that displaced a *zombie* entry.
-    pub evict_zombie: u64,
+    evict_zombie,
     /// Context switches.
-    pub ctx_switches: u64,
+    ctx_switches,
     /// Syscalls serviced.
-    pub syscalls: u64,
+    syscalls,
     /// Pages flushed one at a time (hash-table search + `tlbie` each).
-    pub flushed_pages: u64,
+    flushed_pages,
     /// Whole-context (VSID-bump) lazy flushes.
-    pub context_bumps: u64,
+    context_bumps,
     /// Cycles donated to the idle task.
-    pub idle_cycles: u64,
+    idle_cycles,
     /// Pages cleared by the idle task.
-    pub idle_pages_cleared: u64,
+    idle_pages_cleared,
     /// PTEG groups scanned by the idle reclaim.
-    pub idle_groups_scanned: u64,
+    idle_groups_scanned,
     /// Processes created.
-    pub processes_spawned: u64,
+    processes_spawned,
     /// Segfaults (accesses outside any VMA).
-    pub segfaults: u64,
+    segfaults,
     /// Fatal SIGSEGVs delivered (task killed).
-    pub sigsegvs: u64,
+    sigsegvs,
     /// Fatal SIGBUSes delivered (file mapping past EOF).
-    pub sigbus: u64,
+    sigbus,
     /// Tasks reaped by the OOM killer.
-    pub oom_kills: u64,
+    oom_kills,
     /// Page-cache pages evicted by the memory-pressure path.
-    pub reclaimed_pages: u64,
+    reclaimed_pages,
     /// Faults injected by the seeded [`crate::inject::FaultInjector`].
-    pub injected_faults: u64,
+    injected_faults,
     /// Hash-table inserts that found both candidate PTEGs full (includes
     /// injected overflows).
-    pub htab_overflows: u64,
+    htab_overflows,
 }
 
 impl KernelStats {
@@ -74,33 +115,10 @@ impl KernelStats {
         }
     }
 
-    /// Difference `self - earlier` for a measurement window.
+    /// Difference `self - earlier` for a measurement window (alias of
+    /// [`KernelStats::diff`], kept for existing call sites).
     pub fn delta(&self, earlier: &KernelStats) -> KernelStats {
-        KernelStats {
-            tlb_reloads: self.tlb_reloads - earlier.tlb_reloads,
-            htab_hits: self.htab_hits - earlier.htab_hits,
-            htab_misses: self.htab_misses - earlier.htab_misses,
-            kernel_reloads: self.kernel_reloads - earlier.kernel_reloads,
-            page_faults: self.page_faults - earlier.page_faults,
-            cow_faults: self.cow_faults - earlier.cow_faults,
-            evict_live: self.evict_live - earlier.evict_live,
-            evict_zombie: self.evict_zombie - earlier.evict_zombie,
-            ctx_switches: self.ctx_switches - earlier.ctx_switches,
-            syscalls: self.syscalls - earlier.syscalls,
-            flushed_pages: self.flushed_pages - earlier.flushed_pages,
-            context_bumps: self.context_bumps - earlier.context_bumps,
-            idle_cycles: self.idle_cycles - earlier.idle_cycles,
-            idle_pages_cleared: self.idle_pages_cleared - earlier.idle_pages_cleared,
-            idle_groups_scanned: self.idle_groups_scanned - earlier.idle_groups_scanned,
-            processes_spawned: self.processes_spawned - earlier.processes_spawned,
-            segfaults: self.segfaults - earlier.segfaults,
-            sigsegvs: self.sigsegvs - earlier.sigsegvs,
-            sigbus: self.sigbus - earlier.sigbus,
-            oom_kills: self.oom_kills - earlier.oom_kills,
-            reclaimed_pages: self.reclaimed_pages - earlier.reclaimed_pages,
-            injected_faults: self.injected_faults - earlier.injected_faults,
-            htab_overflows: self.htab_overflows - earlier.htab_overflows,
-        }
+        self.diff(earlier)
     }
 }
 
@@ -144,5 +162,42 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.syscalls, 4);
         assert_eq!(d.tlb_reloads, 13);
+    }
+
+    #[test]
+    fn named_pairs_cover_every_field_exactly_once() {
+        let s = KernelStats {
+            tlb_reloads: 1,
+            htab_overflows: 99,
+            ..Default::default()
+        };
+        let pairs: Vec<(&str, u64)> = s.as_named_pairs().collect();
+        assert_eq!(pairs.len(), KernelStats::NAMES.len());
+        assert_eq!(pairs[0], ("tlb_reloads", 1));
+        assert_eq!(*pairs.last().unwrap(), ("htab_overflows", 99));
+        let mut names: Vec<&str> = pairs.iter().map(|p| p.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), pairs.len(), "names must be unique");
+    }
+
+    #[test]
+    fn diff_matches_named_pairs() {
+        let a = KernelStats {
+            page_faults: 3,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            page_faults: 10,
+            syscalls: 7,
+            ..Default::default()
+        };
+        let d = b.diff(&a);
+        for ((name, dv), ((_, bv), (_, av))) in d
+            .as_named_pairs()
+            .zip(b.as_named_pairs().zip(a.as_named_pairs()))
+        {
+            assert_eq!(dv, bv - av, "{name}");
+        }
     }
 }

@@ -4,13 +4,21 @@ use ppc_mmu::addr::{EffectiveAddress, PAGE_SIZE};
 
 use crate::kernel::Kernel;
 use crate::layout::KernelPath;
+use crate::prof::Subsystem;
 use crate::task::{Vma, VmaKind};
+use crate::trace::TraceEvent;
 
 impl Kernel {
     /// Syscall entry: exception entry, state save (style-dependent), and the
     /// dispatch half of the syscall path. Microkernel models add IPC hops.
     pub fn syscall_entry(&mut self) {
         self.stats.syscalls += 1;
+        // The span covers only the entry half (and `syscall_exit` the exit
+        // half), not the syscall body — bodies are attributed to their own
+        // subsystems, and a body that dies on a fatal signal never reaches
+        // `syscall_exit`, so a body-wide span could never be balanced.
+        self.t_event(|| TraceEvent::Syscall);
+        self.t_enter(Subsystem::Syscall);
         let costs = self.machine.cfg.costs;
         self.machine.charge(costs.exception_entry);
         let insns = self.paths.syscall / 2;
@@ -28,13 +36,16 @@ impl Kernel {
             let insns = self.paths.syscall / 2;
             self.run_kernel_path(KernelPath::SyscallEntry, insns);
         }
+        self.t_exit();
     }
 
     /// Syscall exit: the return half of the path plus exception exit.
     pub fn syscall_exit(&mut self) {
+        self.t_enter(Subsystem::Syscall);
         let insns = self.paths.syscall / 2;
         self.run_kernel_path(KernelPath::SyscallEntry, insns);
         self.machine.charge(self.machine.cfg.costs.exception_exit);
+        self.t_exit();
     }
 
     /// The null syscall (`getpid()`), LmBench's "Null syscall" row.

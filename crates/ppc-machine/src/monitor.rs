@@ -13,7 +13,7 @@ use ppc_mmu::tlb::TlbStats;
 use crate::Cycles;
 
 /// All hardware counters at one instant.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorSnapshot {
     /// Cycle clock.
     pub cycles: Cycles,

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate for the observability layer: run the traced reference workload,
+# check the metrics artifact is complete, and fail if tracing ever charges
+# cycles (tracer-on and tracer-off runs must be cycle-identical).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+cargo run --release -p bench --bin repro -- trace --depth quick \
+    --json "$out/metrics.json" --trace-out "$out/trace.json" >/dev/null
+
+fail=0
+for key in '"schema"' '"total_cycles"' '"attribution"' '"attribution_total"' \
+           '"tlb_reload"' '"page_fault"' '"signal_delivery"' '"stats"' \
+           '"pteg"' '"ring"' '"experiments"'; do
+    if ! grep -q -- "$key" "$out/metrics.json"; then
+        echo "FAIL: metrics.json is missing $key" >&2
+        fail=1
+    fi
+done
+
+# The zero-overhead guarantee: the harness ran the same workload with the
+# tracer off and on and recorded the cycle difference. Any nonzero value
+# means tracing perturbed the simulation.
+if ! grep -q '"overhead_cycles": 0,' "$out/metrics.json"; then
+    echo "FAIL: tracer-on and tracer-off cycle totals diverge:" >&2
+    grep '"overhead_cycles"' "$out/metrics.json" >&2 || true
+    fail=1
+fi
+
+if ! grep -q '"traceEvents":\[' "$out/trace.json"; then
+    echo "FAIL: trace.json is not a Chrome trace_event document" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "trace gate OK: artifacts complete, overhead_cycles = 0"
