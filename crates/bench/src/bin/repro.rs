@@ -12,10 +12,26 @@
 //! attribution, latency percentiles, PTEG heatmap, tracer overhead).
 //! `--trace-out` writes the Chrome `trace_event` timeline. Both artifacts
 //! are deterministic, so CI can diff them across commits.
+//!
+//! Two subcommands sit next to the experiments:
+//!
+//! ```text
+//! repro bench [--json <path>]                     # regression baseline JSON
+//! repro perf record [--workload compile|storm] [--period N] [--out <path>]
+//! repro perf report [--in <path>] [--folded <path>]
+//! repro perf annotate [--in <path>]
+//! ```
+//!
+//! `perf record` samples the workload with the modeled 604 PMU and writes a
+//! deterministic `perf.data` text file; `report`/`annotate` render it (or
+//! record in-memory when no `--in` is given); `--folded` exports collapsed
+//! stacks for flamegraph tooling.
 
 use bench::{depth_from_args, flag_value, positional_args, EXPERIMENTS};
+use mmu_tricks::bench::bench_report;
 use mmu_tricks::experiments as ex;
 use mmu_tricks::experiments::TraceArtifacts;
+use mmu_tricks::perf::{perf_record, PerfData, PerfWorkload};
 use mmu_tricks::tables::Table;
 use mmu_tricks::Depth;
 
@@ -30,6 +46,11 @@ fn main() {
     if wanted.is_empty() {
         usage();
         return;
+    }
+    match wanted[0] {
+        "bench" => return bench_main(&args, depth),
+        "perf" => return perf_main(&args, depth),
+        _ => {}
     }
     let run_all = wanted.contains(&"all");
     let mut ran = 0;
@@ -62,6 +83,74 @@ fn main() {
     }
 }
 
+/// `repro bench`: the benchmark-regression baseline (headline cycle counts
+/// and miss rates for the compile and fault-storm workloads, plus the
+/// PMU-off reference total the gates pin).
+fn bench_main(args: &[String], depth: Depth) {
+    let json = bench_report(depth);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &json),
+        None => print!("{json}"),
+    }
+}
+
+/// `repro perf <record|report|annotate>`: the sampled-profiling surface.
+fn perf_main(args: &[String], depth: Depth) {
+    let positional = positional_args(args);
+    let sub = positional.get(1).copied().unwrap_or("report");
+    let data = match flag_value(args, "--in") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            PerfData::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            let wl = flag_value(args, "--workload").unwrap_or_else(|| "compile".into());
+            let workload = PerfWorkload::from_name(&wl).unwrap_or_else(|| {
+                eprintln!("unknown --workload {wl:?} (expected compile|storm)");
+                std::process::exit(1);
+            });
+            let period = flag_value(args, "--period")
+                .map(|p| match p.parse::<u32>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("bad --period {p:?} (expected a positive cycle count)");
+                        std::process::exit(1);
+                    }
+                })
+                .unwrap_or(4096);
+            perf_record(depth, workload, period)
+        }
+    };
+    match sub {
+        "record" => {
+            let path = flag_value(args, "--out").unwrap_or_else(|| "perf.data".into());
+            write_artifact(&path, &data.serialize());
+        }
+        "report" => {
+            print!("{}", data.summary());
+            println!();
+            for t in data.report() {
+                println!("{}", t.render());
+            }
+        }
+        "annotate" => print!("{}", data.annotate()),
+        other => {
+            eprintln!("unknown perf subcommand {other:?} (expected record|report|annotate)\n");
+            usage();
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = flag_value(args, "--folded") {
+        write_artifact(&path, &data.folded_lines());
+    }
+}
+
 fn write_artifact(path: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("wrote {path}"),
@@ -76,7 +165,12 @@ fn usage() {
     println!("repro — regenerate the paper's tables and figures\n");
     println!(
         "usage: repro <experiment...|all> [--depth quick|full] [--full] \
-         [--markdown|--csv] [--json <path>] [--trace-out <path>]\n"
+         [--markdown|--csv] [--json <path>] [--trace-out <path>]"
+    );
+    println!("       repro bench [--json <path>]");
+    println!(
+        "       repro perf <record|report|annotate> [--workload compile|storm] \
+         [--period N] [--out <path>] [--in <path>] [--folded <path>]\n"
     );
     println!("experiments:");
     for (id, desc) in EXPERIMENTS {
@@ -88,6 +182,11 @@ fn usage() {
     println!("--csv       render tables as CSV");
     println!("--json      write a machine-readable run report (metrics.json)");
     println!("--trace-out write the Chrome trace_event timeline JSON");
+    println!("--workload  perf: workload to sample (compile, storm; default compile)");
+    println!("--period    perf: sampling period in cycles (default 4096)");
+    println!("--out       perf record: output path (default perf.data)");
+    println!("--in        perf report/annotate: read an existing perf.data");
+    println!("--folded    perf: also write collapsed stacks (flamegraph input)");
 }
 
 /// Everything a run accumulates for the `--json` / `--trace-out` artifacts.
@@ -187,6 +286,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "lmbench-extended" => emit(&ex::extended_suite(depth).1, style, out),
         "multiuser" => emit(&ex::exp_multiuser(depth).1, style, out),
         "pressure" => emit(&ex::exp_pressure(depth).1, style, out),
+        "pmu" => emit(&ex::exp_pmu(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

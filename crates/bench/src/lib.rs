@@ -39,7 +39,16 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 /// Command-line flags that consume the next argument (so experiment-id
 /// parsing can skip their values).
-pub const VALUE_FLAGS: &[&str] = &["--depth", "--json", "--trace-out"];
+pub const VALUE_FLAGS: &[&str] = &[
+    "--depth",
+    "--json",
+    "--trace-out",
+    "--workload",
+    "--period",
+    "--out",
+    "--in",
+    "--folded",
+];
 
 /// The positional (non-flag) arguments, with value-flag payloads removed.
 pub fn positional_args(args: &[String]) -> Vec<&str> {
@@ -131,6 +140,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "pressure",
         "E-PRESSURE: fault storm (SIGSEGV/SIGBUS/OOM/injection) survival",
+    ),
+    (
+        "pmu",
+        "E-PMU: 604 sampled profiling converges to the exact profiler (4)",
     ),
 ];
 

@@ -160,8 +160,10 @@ impl TraceArtifacts {
 
 /// The reference workload: the paper's compile, then a signal-heavy coda so
 /// all three latency paths (TLB reload, page fault, signal delivery) carry
-/// samples, then an idle sweep. Fully deterministic.
-fn workload(k: &mut Kernel, depth: Depth) {
+/// samples, then an idle sweep. Fully deterministic — the benchmark
+/// baseline (`BENCH_PR3.json`), the perf recorder and the E-PMU experiment
+/// all run exactly this, so their cycle totals are comparable.
+pub fn reference_workload(k: &mut Kernel, depth: Depth) {
     lmbench::compile::kernel_compile(k, depth.compile());
     let pid = k.spawn_process(8).expect("room for the signal task");
     k.switch_to(pid);
@@ -187,7 +189,7 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
         let mut cfg = KernelConfig::optimized();
         cfg.trace = trace;
         let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
-        workload(&mut k, depth);
+        reference_workload(&mut k, depth);
         k
     };
     let off = run(false);

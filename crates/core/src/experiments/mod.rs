@@ -21,6 +21,7 @@
 //! | T3 | [`paper_tables::table3`] |
 //! | §10 extensions | [`cache::exp_extensions`] |
 //! | E-PRESSURE | [`pressure::exp_pressure`] |
+//! | E-PMU | [`pmu::exp_pmu`] |
 
 pub mod ablate;
 pub mod artifacts;
@@ -31,13 +32,14 @@ pub mod iobat;
 pub mod multiuser;
 pub mod narrative;
 pub mod paper_tables;
+pub mod pmu;
 pub mod pressure;
 pub mod trace;
 
 pub use ablate::{
     ablate_htab_size, ablate_reclaim_policy, ablate_replacement, ablate_scatter, ablate_tlb_reach,
 };
-pub use artifacts::{trace_artifacts, LatencySummary, TraceArtifacts};
+pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
 pub use extended::extended_suite;
 pub use fig1::translation_walkthrough;
@@ -47,5 +49,6 @@ pub use narrative::{
     exp_bat, exp_fast_reload, exp_hash_util, exp_idle_reclaim, exp_lazy, exp_mmap_cutoff,
 };
 pub use paper_tables::{table1, table2, table3};
-pub use pressure::{exp_pressure, run_pressure};
+pub use pmu::{exp_pmu, PmuConvergenceRow, PmuResult};
+pub use pressure::{exp_pressure, run_pressure, run_pressure_on};
 pub use trace::{memory_hierarchy, trace_compile};

@@ -39,6 +39,13 @@ pub fn run_pressure(seed: u64, hogs: u32) -> PressureRun {
         fault_injection: Some(FaultInjection::light(seed)),
         ..KernelConfig::optimized()
     };
+    run_pressure_on(cfg, hogs).0
+}
+
+/// As [`run_pressure`], but on an arbitrary kernel configuration (the perf
+/// recorder runs the same storm with the PMU sampling), returning the
+/// kernel too so callers can read tracer/PMU state.
+pub fn run_pressure_on(cfg: KernelConfig, hogs: u32) -> (PressureRun, Kernel) {
     let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
     let k0 = k.stats;
     let c0 = k.machine.cycles;
@@ -109,11 +116,15 @@ pub fn run_pressure(seed: u64, hogs: u32) -> PressureRun {
         }
     }
 
-    PressureRun {
-        stats: k.stats.delta(&k0),
-        cycles: k.machine.cycles - c0,
-        survivors,
-    }
+    k.pmu_finish();
+    (
+        PressureRun {
+            stats: k.stats.delta(&k0),
+            cycles: k.machine.cycles - c0,
+            survivors,
+        },
+        k,
+    )
 }
 
 /// Runs the pressure storm and renders its fault ledger.

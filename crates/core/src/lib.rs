@@ -29,7 +29,9 @@
 //! println!("null syscall era: {} cycles so far", k.machine.cycles);
 //! ```
 
+pub mod bench;
 pub mod experiments;
+pub mod perf;
 pub mod tables;
 
 pub use kernel_sim::{

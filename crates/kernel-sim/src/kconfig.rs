@@ -1,5 +1,83 @@
 //! Kernel configuration: every optimization in the paper as a toggle.
 
+use ppc_machine::pmu::{Mmcr0, PmcEvent};
+
+/// How the kernel programs the 604 performance-monitor unit
+/// ([`ppc_machine::pmu`]) at boot.
+///
+/// Two shapes matter:
+/// * **counting** — select an event per PMC and read the totals at the end
+///   of the window (the paper's §4 methodology);
+/// * **sampling** — PMC1 counts cycles preloaded to go negative every
+///   `sample_period` cycles, and the performance-monitor interrupt captures
+///   task/privilege/span, which is what `repro perf record` builds on.
+///
+/// Like all PMU work, this is observational *except* for the sampling
+/// interrupts themselves, whose handler cost is charged to the run — a
+/// sampled kernel is measurably (and deliberately) slower than an
+/// unsampled one, and E-PMU quantifies by how much.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmuConfig {
+    /// Cycles between sampling interrupts; 0 disables sampling (PMC1 then
+    /// counts `pmc1` like a plain event counter).
+    pub sample_period: u32,
+    /// PMC1 event select when not sampling (sampling forces cycles).
+    pub pmc1: PmcEvent,
+    /// PMC2 event select (free for any event even while sampling).
+    pub pmc2: PmcEvent,
+    /// MMCR0[FCS]: don't count in supervisor state.
+    pub freeze_supervisor: bool,
+    /// MMCR0[FCP]: don't count in problem (user) state.
+    pub freeze_problem: bool,
+    /// MMCR0[THRESHOLD] for [`PmcEvent::ThresholdExceeded`], in cycles.
+    pub threshold: u32,
+}
+
+impl PmuConfig {
+    /// Cycle sampling every `period` cycles (PMC2 left free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn sampling(period: u32) -> Self {
+        assert!(period > 0, "sample period must be positive");
+        Self {
+            sample_period: period,
+            pmc1: PmcEvent::Cycles,
+            pmc2: PmcEvent::None,
+            freeze_supervisor: false,
+            freeze_problem: false,
+            threshold: 0,
+        }
+    }
+
+    /// Plain event counting, no interrupts.
+    pub fn counting(pmc1: PmcEvent, pmc2: PmcEvent) -> Self {
+        Self {
+            sample_period: 0,
+            pmc1,
+            pmc2,
+            freeze_supervisor: false,
+            freeze_problem: false,
+            threshold: 0,
+        }
+    }
+
+    /// The MMCR0 image this configuration programs at boot.
+    pub fn mmcr0(&self) -> Mmcr0 {
+        let sampling = self.sample_period > 0;
+        Mmcr0 {
+            freeze: false,
+            freeze_supervisor: self.freeze_supervisor,
+            freeze_problem: self.freeze_problem,
+            enint: sampling,
+            threshold: self.threshold,
+            pmc1: if sampling { PmcEvent::Cycles } else { self.pmc1 },
+            pmc2: self.pmc2,
+        }
+    }
+}
+
 /// How VSIDs are assigned to address spaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VsidPolicy {
@@ -138,6 +216,11 @@ pub struct KernelConfig {
     /// the same cycles as an untraced one; disabled, the kernel carries no
     /// tracer and every hook is a single branch.
     pub trace: bool,
+    /// Trace-ring capacity (newest-N events kept) when `trace` is on.
+    pub trace_ring_capacity: usize,
+    /// Performance-monitor unit programming. `None` boots the machine with
+    /// no PMU at all — such runs are cycle-identical to pre-PMU kernels.
+    pub pmu: Option<PmuConfig>,
 }
 
 impl KernelConfig {
@@ -163,6 +246,8 @@ impl KernelConfig {
             cache_preloads: false,
             fault_injection: None,
             trace: false,
+            trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
+            pmu: None,
         }
     }
 
@@ -186,6 +271,8 @@ impl KernelConfig {
             cache_preloads: false,
             fault_injection: None,
             trace: false,
+            trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
+            pmu: None,
         }
     }
 
@@ -222,6 +309,10 @@ impl KernelConfig {
         if let Some(c) = self.flush_cutoff_pages {
             assert!(c > 0, "flush cutoff must be positive");
         }
+        assert!(
+            self.trace_ring_capacity > 0,
+            "trace ring capacity must be positive"
+        );
     }
 }
 

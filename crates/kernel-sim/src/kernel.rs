@@ -17,6 +17,7 @@ use crate::layout::{
 use crate::linuxpt::LinuxPageTables;
 use crate::physmem::{FrameAllocator, PhysMem};
 use crate::pipe::Pipe;
+use crate::pmu::PmuState;
 use crate::prof::Subsystem;
 use crate::stats::KernelStats;
 use crate::task::{Pid, Task};
@@ -118,6 +119,12 @@ impl PathLengths {
 /// kernel text holds the vectors, as on real hardware).
 pub const HANDLER_STUB_PA: PhysAddr = 0x3000;
 
+/// Instructions of performance-monitor interrupt handler body: read the
+/// SIAR-equivalent state, store the sample record, re-arm PMC1. Charged (on
+/// top of exception entry/exit) for every delivered sampling interrupt —
+/// sampling is the one observability feature that is *not* free.
+pub const PM_HANDLER_INSNS: u32 = 120;
+
 /// The simulated kernel.
 ///
 /// Owns the machine, all physical memory, the hash table, the VSID
@@ -173,6 +180,10 @@ pub struct Kernel {
     /// The event tracer + cycle profiler, when [`KernelConfig::trace`] is
     /// set. Boxed so an untraced kernel carries one pointer of overhead.
     pub tracer: Option<Box<Tracer>>,
+    /// The sampling-profiler state, when [`KernelConfig::pmu`] is set
+    /// (the OS half of the PMU; the counters themselves live on
+    /// [`Machine::pmu`]).
+    pub pmu: Option<Box<PmuState>>,
 }
 
 impl Kernel {
@@ -195,6 +206,14 @@ impl Kernel {
     ) -> Self {
         cfg.validate();
         let mut machine = Machine::new(machine_cfg);
+        if let Some(pc) = cfg.pmu {
+            let mut pmu = ppc_machine::Pmu::new(pc.mmcr0());
+            if pc.sample_period > 0 {
+                // Preload the sampling counter to go negative one period in.
+                pmu.write_pmc(0, ppc_machine::PMC_NEGATIVE - pc.sample_period);
+            }
+            machine.pmu = Some(pmu);
+        }
         // Kernel segment registers hold their fixed VSIDs forever.
         for sr in 12..16 {
             machine.mmu.segments.set(sr, kernel_vsid(sr));
@@ -239,10 +258,15 @@ impl Kernel {
             file_map_refs: std::collections::HashMap::new(),
             injector: cfg.fault_injection.map(FaultInjector::new),
             tracer: if cfg.trace {
-                Some(Box::new(Tracer::new(HTAB_GROUPS, 0)))
+                Some(Box::new(Tracer::with_capacity(
+                    HTAB_GROUPS,
+                    0,
+                    cfg.trace_ring_capacity,
+                )))
             } else {
                 None
             },
+            pmu: cfg.pmu.map(|pc| Box::new(PmuState::new(pc))),
         }
     }
 
@@ -290,11 +314,21 @@ impl Kernel {
     /// Opens a profiler span for `s`. Returns the entry cycle so the
     /// matching [`Kernel::t_exit_lat`] can compute a latency sample; the
     /// caller must close the span on every path out of its scope.
+    ///
+    /// The PMU is polled **before** the span stack changes (here and in the
+    /// exit hooks): between two consecutive polls the stack is constant, so
+    /// a counter found negative at a poll is attributed to the subsystem
+    /// that actually ran the elapsed window — the invariant that makes
+    /// sampled attribution converge to the exact profiler.
     #[inline]
     pub(crate) fn t_enter(&mut self, s: Subsystem) -> Cycles {
+        self.pmu_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(s, now);
+        }
+        if let Some(p) = self.pmu.as_mut() {
+            p.stack.push(s);
         }
         now
     }
@@ -302,9 +336,13 @@ impl Kernel {
     /// Closes the innermost profiler span.
     #[inline]
     pub(crate) fn t_exit(&mut self) {
+        self.pmu_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
+        }
+        if let Some(p) = self.pmu.as_mut() {
+            p.stack.pop();
         }
     }
 
@@ -312,11 +350,109 @@ impl Kernel {
     /// for `path`.
     #[inline]
     pub(crate) fn t_exit_lat(&mut self, t0: Cycles, path: LatencyPath) {
+        self.pmu_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
             t.record_latency(path, now.saturating_sub(t0));
         }
+        if let Some(p) = self.pmu.as_mut() {
+            p.stack.pop();
+        }
+        // Instrumented-path latencies are the model's duration events: feed
+        // the threshold comparator (paper: "loads lasting longer than
+        // threshold"; here: reloads/faults/deliveries).
+        if let Some(hw) = self.machine.pmu.as_mut() {
+            hw.note_duration(now.saturating_sub(t0), true);
+        }
+    }
+
+    /// Synchronises the PMU with the machine counters and services a
+    /// pending counter-negative exception. Called at every span transition
+    /// (before the stack changes) — the simulator's instruction boundary.
+    /// A single `None` test when the PMU is off.
+    #[inline]
+    pub(crate) fn pmu_poll(&mut self) {
+        if self.pmu.is_none() {
+            return;
+        }
+        // Supervisor state: inside any kernel span, or no task is current
+        // (boot, idle, kernel-driven workload phases).
+        let supervisor = self
+            .pmu
+            .as_ref()
+            .is_some_and(|p| !p.stack.is_empty() || self.current.is_none());
+        self.machine.pmu_sync(supervisor);
+        let pending = self
+            .machine
+            .pmu
+            .as_mut()
+            .is_some_and(|hw| hw.take_interrupt());
+        if pending {
+            self.pmu_deliver_sample(supervisor);
+        }
+    }
+
+    /// The performance-monitor exception handler: capture the sample,
+    /// charge the handler cost, re-arm the sampling counter.
+    fn pmu_deliver_sample(&mut self, supervisor: bool) {
+        let period = self.pmu.as_ref().map_or(0, |p| p.cfg.sample_period);
+        // Weight = whole periods since arming; re-arm preserving the
+        // fractional overshoot so no cycles are silently dropped between
+        // windows.
+        let mut weight = 1;
+        if let Some(hw) = self.machine.pmu.as_mut() {
+            if period > 0 {
+                weight = hw.periods_pending(0, period).max(1);
+                let over = hw.read_pmc(0).wrapping_sub(ppc_machine::PMC_NEGATIVE);
+                let resid = over % period;
+                hw.write_pmc(0, ppc_machine::PMC_NEGATIVE - period + resid);
+            } else {
+                // Counter-negative without sampling (an event counter
+                // wrapped): nothing to record periodically, just re-latch.
+                return;
+            }
+        }
+        let cycle = self.machine.cycles;
+        let pid = self.current_pid();
+        if let Some(p) = self.pmu.as_mut() {
+            p.record(cycle, pid, supervisor, weight);
+        }
+        self.stats.pmu_interrupts += 1;
+        let sub = self.pmu.as_ref().map_or(Subsystem::User, |p| p.current_subsystem());
+        self.t_event(|| TraceEvent::PmuSample {
+            sub,
+            weight: weight.min(u64::from(u32::MAX)) as u32,
+        });
+        // Charge the exception: entry, handler body, exit. Attributed to
+        // the Pmu bucket directly on the profiler (not through t_enter,
+        // which would re-poll and recurse).
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.enter(Subsystem::Pmu, now);
+        }
+        let costs = self.machine.cfg.costs;
+        self.machine
+            .charge(costs.exception_entry + costs.exception_exit);
+        self.machine
+            .exec_code_pa(HANDLER_STUB_PA + 0x200, PM_HANDLER_INSNS, true);
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.exit(now);
+        }
+        // The handler froze counting while it ran (a real PM handler sets
+        // MMCR0[FC] first thing): skip its own cycles out of the next
+        // counting window so sampling does not sample itself.
+        let snap = self.machine.snapshot();
+        if let Some(hw) = self.machine.pmu.as_mut() {
+            hw.skip_to(&snap);
+        }
+    }
+
+    /// Final PMU synchronisation for a measurement window (call before
+    /// reading [`Kernel::pmu`] results; idempotent).
+    pub fn pmu_finish(&mut self) {
+        self.pmu_poll();
     }
 
     /// The currently running task.

@@ -56,6 +56,7 @@ pub mod linuxpt;
 pub mod os_model;
 pub mod physmem;
 pub mod pipe;
+pub mod pmu;
 pub mod process;
 pub mod prof;
 pub mod sched;
@@ -68,6 +69,8 @@ mod tests;
 #[cfg(test)]
 mod tests_edge;
 #[cfg(test)]
+mod tests_pmu;
+#[cfg(test)]
 mod tests_subsystems;
 #[cfg(test)]
 mod tests_trace;
@@ -76,9 +79,10 @@ pub mod vsid;
 
 pub use errors::{KResult, KernelError, Signal};
 pub use inject::{FaultInjection, FaultInjector};
-pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, VsidPolicy};
+pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, PmuConfig, VsidPolicy};
 pub use kernel::Kernel;
 pub use os_model::OsModel;
+pub use pmu::{PmuSample, PmuState};
 pub use prof::{Profiler, Subsystem};
 pub use stats::KernelStats;
 pub use task::{Pid, Task};

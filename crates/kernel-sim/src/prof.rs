@@ -47,13 +47,16 @@ pub enum Subsystem {
     Idle = 8,
     /// Process creation and exec image setup.
     Exec = 9,
+    /// The performance-monitor interrupt handler (sampling overhead — the
+    /// one observability path that *does* cost cycles).
+    Pmu = 10,
     /// Everything else: user-mode compute, pipe/file bodies, unbracketed
     /// kernel work.
-    User = 10,
+    User = 11,
 }
 
 /// Number of subsystems (size of the bucket array).
-pub const NUM_SUBSYSTEMS: usize = 11;
+pub const NUM_SUBSYSTEMS: usize = 12;
 
 impl Subsystem {
     /// Every subsystem, in bucket order.
@@ -68,6 +71,7 @@ impl Subsystem {
         Subsystem::Signal,
         Subsystem::Idle,
         Subsystem::Exec,
+        Subsystem::Pmu,
         Subsystem::User,
     ];
 
@@ -84,8 +88,14 @@ impl Subsystem {
             Subsystem::Signal => "signal",
             Subsystem::Idle => "idle",
             Subsystem::Exec => "exec",
+            Subsystem::Pmu => "pmu",
             Subsystem::User => "user",
         }
+    }
+
+    /// Parses a [`Subsystem::name`] back to the subsystem.
+    pub fn from_name(name: &str) -> Option<Subsystem> {
+        Subsystem::ALL.iter().copied().find(|s| s.name() == name)
     }
 }
 

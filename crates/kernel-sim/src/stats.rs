@@ -92,6 +92,8 @@ kernel_stats! {
     /// Hash-table inserts that found both candidate PTEGs full (includes
     /// injected overflows).
     htab_overflows,
+    /// Performance-monitor (sampling) interrupts delivered.
+    pmu_interrupts,
 }
 
 impl KernelStats {
@@ -168,13 +170,13 @@ mod tests {
     fn named_pairs_cover_every_field_exactly_once() {
         let s = KernelStats {
             tlb_reloads: 1,
-            htab_overflows: 99,
+            pmu_interrupts: 99,
             ..Default::default()
         };
         let pairs: Vec<(&str, u64)> = s.as_named_pairs().collect();
         assert_eq!(pairs.len(), KernelStats::NAMES.len());
         assert_eq!(pairs[0], ("tlb_reloads", 1));
-        assert_eq!(*pairs.last().unwrap(), ("htab_overflows", 99));
+        assert_eq!(*pairs.last().unwrap(), ("pmu_interrupts", 99));
         let mut names: Vec<&str> = pairs.iter().map(|p| p.0).collect();
         names.sort_unstable();
         names.dedup();

@@ -84,6 +84,16 @@ pub enum TraceEvent {
         /// Cycle budget of the stall.
         budget: u64,
     },
+    /// A performance-monitor sampling interrupt fired.
+    PmuSample {
+        /// Subsystem on top of the span stack when the counter went
+        /// negative.
+        sub: crate::prof::Subsystem,
+        /// Whole sampling periods this sample stands for (>1 when the
+        /// counter ran several periods past negative before the next
+        /// serviceable boundary).
+        weight: u32,
+    },
 }
 
 impl TraceEvent {
@@ -102,6 +112,7 @@ impl TraceEvent {
             TraceEvent::Reclaim { .. } => "reclaim",
             TraceEvent::OomKill { .. } => "oom_kill",
             TraceEvent::Idle { .. } => "idle",
+            TraceEvent::PmuSample { .. } => "pmu_sample",
         }
     }
 
@@ -127,6 +138,9 @@ impl TraceEvent {
             }
             TraceEvent::OomKill { victim } => format!("{{\"victim\":{victim}}}"),
             TraceEvent::Idle { budget } => format!("{{\"budget\":{budget}}}"),
+            TraceEvent::PmuSample { sub, weight } => {
+                format!("{{\"sub\":\"{}\",\"weight\":{weight}}}", sub.name())
+            }
         }
     }
 }

@@ -8,8 +8,87 @@ use kernel_sim::physmem::{FrameAllocator, PhysMem};
 use kernel_sim::sched::USER_BASE;
 use kernel_sim::vsid::VsidAllocator;
 use kernel_sim::{Kernel, KernelConfig};
+use ppc_cache::stats::CacheStats;
+use ppc_machine::monitor::MonitorSnapshot;
+use ppc_machine::pmu::{Mmcr0, PmcEvent, Pmu};
 use ppc_machine::MachineConfig;
 use ppc_mmu::addr::{EffectiveAddress, PAGE_SIZE};
+use ppc_mmu::tlb::TlbStats;
+
+/// Counter fields in a [`MonitorSnapshot`]: cycles + 2 TLBs (6 each) +
+/// 2 caches (9 each) + 2 BAT-hit counters.
+const SNAP_FIELDS: usize = 33;
+
+/// Builds a [`MonitorSnapshot`] from [`SNAP_FIELDS`] arbitrary values.
+fn snapshot_from(v: &[u64]) -> MonitorSnapshot {
+    let tlb = |v: &[u64]| TlbStats {
+        lookups: v[0],
+        hits: v[1],
+        misses: v[2],
+        reloads: v[3],
+        tlbie: v[4],
+        flush_all: v[5],
+    };
+    let cache = |v: &[u64]| CacheStats {
+        accesses: v[0],
+        hits: v[1],
+        misses: v[2],
+        evictions: v[3],
+        writebacks: v[4],
+        inhibited: v[5],
+        zero_fills: v[6],
+        prefetch_fills: v[7],
+        prefetch_redundant: v[8],
+    };
+    MonitorSnapshot {
+        cycles: v[0],
+        itlb: tlb(&v[1..7]),
+        dtlb: tlb(&v[7..13]),
+        icache: cache(&v[13..22]),
+        dcache: cache(&v[22..31]),
+        ibat_hits: v[31],
+        dbat_hits: v[32],
+    }
+}
+
+/// Flattens a snapshot back into the same [`SNAP_FIELDS`]-value order.
+fn snapshot_fields(s: &MonitorSnapshot) -> [u64; SNAP_FIELDS] {
+    [
+        s.cycles,
+        s.itlb.lookups,
+        s.itlb.hits,
+        s.itlb.misses,
+        s.itlb.reloads,
+        s.itlb.tlbie,
+        s.itlb.flush_all,
+        s.dtlb.lookups,
+        s.dtlb.hits,
+        s.dtlb.misses,
+        s.dtlb.reloads,
+        s.dtlb.tlbie,
+        s.dtlb.flush_all,
+        s.icache.accesses,
+        s.icache.hits,
+        s.icache.misses,
+        s.icache.evictions,
+        s.icache.writebacks,
+        s.icache.inhibited,
+        s.icache.zero_fills,
+        s.icache.prefetch_fills,
+        s.icache.prefetch_redundant,
+        s.dcache.accesses,
+        s.dcache.hits,
+        s.dcache.misses,
+        s.dcache.evictions,
+        s.dcache.writebacks,
+        s.dcache.inhibited,
+        s.dcache.zero_fills,
+        s.dcache.prefetch_fills,
+        s.dcache.prefetch_redundant,
+        s.ibat_hits,
+        s.dbat_hits,
+    ]
+}
 
 proptest! {
     /// Frame-allocator conservation: frames handed out are unique, frees
@@ -200,6 +279,87 @@ proptest! {
             k.exit_current();
         }
         prop_assert_eq!(k.frames.free_frames(), free0);
+    }
+
+    /// Counter-window safety: [`MonitorSnapshot::delta`] saturates on every
+    /// field, for *any* pair of snapshots — even "windows" whose earlier
+    /// edge postdates the later one (a reset, an out-of-order read). No
+    /// underflow into a bogus astronomically-large count, ever.
+    #[test]
+    fn monitor_delta_never_underflows(
+        a in proptest::collection::vec(any::<u64>(), SNAP_FIELDS..SNAP_FIELDS + 1),
+        b in proptest::collection::vec(any::<u64>(), SNAP_FIELDS..SNAP_FIELDS + 1),
+    ) {
+        let (sa, sb) = (snapshot_from(&a), snapshot_from(&b));
+        let fwd = snapshot_fields(&sa.delta(&sb));
+        let rev = snapshot_fields(&sb.delta(&sa));
+        for i in 0..SNAP_FIELDS {
+            prop_assert_eq!(fwd[i], a[i].saturating_sub(b[i]));
+            prop_assert_eq!(rev[i], b[i].saturating_sub(a[i]));
+        }
+        // A self-window is empty.
+        prop_assert_eq!(sa.delta(&sa), MonitorSnapshot::default());
+    }
+
+    /// PMU robustness: arbitrary interleavings of out-of-order snapshot
+    /// syncs, freeze/unfreeze flips, counter resets and counter writes never
+    /// produce an underflowed (near-wraparound) count, freezes really stop
+    /// the counters, and resets really zero them.
+    #[test]
+    fn pmu_counters_never_underflow(
+        ops in proptest::collection::vec(
+            (0u8..6, 0u64..10_000, any::<bool>()), 1..80),
+    ) {
+        let mut p = Pmu::new(Mmcr0 {
+            pmc1: PmcEvent::Cycles,
+            pmc2: PmcEvent::TlbMissBoth,
+            ..Mmcr0::default()
+        });
+        // Upper bound on legitimate counting: every sync delta is capped by
+        // the snapshot's own field values, so the counters can never exceed
+        // the sum of everything ever presented. An underflow bug would blow
+        // straight past this (u32::MAX-ish jumps).
+        let mut budget = [0u64; 2];
+        for &(op, v, sup) in &ops {
+            match op {
+                0 | 1 => {
+                    // Out-of-order windows on purpose: v is not monotonic.
+                    let mut s = MonitorSnapshot { cycles: v, ..Default::default() };
+                    s.itlb.misses = v / 2;
+                    s.dtlb.misses = v / 3;
+                    let before = [p.read_pmc(0), p.read_pmc(1)];
+                    let frozen = p.mmcr0.frozen(sup);
+                    p.sync(&s, sup);
+                    if frozen {
+                        prop_assert_eq!(before[0], p.read_pmc(0), "frozen PMC1 moved");
+                        prop_assert_eq!(before[1], p.read_pmc(1), "frozen PMC2 moved");
+                    }
+                    budget[0] += v;
+                    budget[1] += v / 2 + v / 3;
+                }
+                2 => p.mmcr0.freeze = !p.mmcr0.freeze,
+                3 => p.mmcr0.freeze_supervisor = !p.mmcr0.freeze_supervisor,
+                4 => {
+                    p.reset_counters();
+                    prop_assert_eq!(p.read_pmc(0), 0);
+                    prop_assert_eq!(p.read_pmc(1), 0);
+                    budget = [0, 0];
+                }
+                _ => {
+                    let x = (v % 1024) as u32;
+                    p.write_pmc(0, x);
+                    prop_assert_eq!(p.read_pmc(0), x);
+                    budget[0] = u64::from(x);
+                }
+            }
+            for (i, &cap) in budget.iter().enumerate() {
+                prop_assert!(
+                    u64::from(p.read_pmc(i)) <= cap,
+                    "PMC{} = {} exceeds every event ever presented ({})",
+                    i + 1, p.read_pmc(i), cap
+                );
+            }
+        }
     }
 
     /// Determinism: the same injector seed produces bit-identical statistics

@@ -6,6 +6,7 @@ use ppc_mmu::translate::Mmu;
 
 use crate::config::MachineConfig;
 use crate::monitor::MonitorSnapshot;
+use crate::pmu::Pmu;
 use crate::time::SimTime;
 use crate::Cycles;
 
@@ -63,6 +64,10 @@ pub struct Machine {
     pub mem: MemSystem,
     /// The cycle clock.
     pub cycles: Cycles,
+    /// The performance-monitor unit (paper §4's 604 hardware monitor).
+    /// `None` on machines not being monitored — the PMU is pure bookkeeping
+    /// and never changes timing, so absence and presence are cycle-identical.
+    pub pmu: Option<Pmu>,
 }
 
 impl Machine {
@@ -73,6 +78,19 @@ impl Machine {
             mmu: Mmu::new(cfg.mmu),
             mem: MemSystem::new(cfg.mem),
             cycles: 0,
+            pmu: None,
+        }
+    }
+
+    /// Synchronises the PMU (if installed) with the machine counters: the
+    /// window since the last sync is counted into the PMCs under the given
+    /// privilege state. A no-op without a PMU.
+    pub fn pmu_sync(&mut self, supervisor: bool) {
+        if self.pmu.is_some() {
+            let now = self.snapshot();
+            if let Some(pmu) = self.pmu.as_mut() {
+                pmu.sync(&now, supervisor);
+            }
         }
     }
 

@@ -22,12 +22,14 @@ pub mod config;
 pub mod cpu;
 pub mod exceptions;
 pub mod monitor;
+pub mod pmu;
 pub mod time;
 
 pub use config::{CpuModel, MachineConfig};
 pub use cpu::{Machine, MemRefOutcome, ReloadOutcome};
 pub use exceptions::ExceptionCosts;
 pub use monitor::MonitorSnapshot;
+pub use pmu::{Mmcr0, PmcEvent, Pmu, PMC_NEGATIVE};
 pub use time::SimTime;
 
 /// Simulated time, in processor clock cycles.

@@ -33,25 +33,32 @@ pub struct MonitorSnapshot {
 
 impl MonitorSnapshot {
     /// Counter deltas `self - earlier` for a measurement window.
+    ///
+    /// Every field saturates at zero: consumers such as the PMU feed windows
+    /// whose earlier edge may postdate a [`reset_stats`] or arrive out of
+    /// order, and a counter window must never underflow into a huge bogus
+    /// count.
+    ///
+    /// [`reset_stats`]: crate::Machine::reset_stats
     pub fn delta(&self, earlier: &MonitorSnapshot) -> MonitorSnapshot {
         fn tlb(a: &TlbStats, b: &TlbStats) -> TlbStats {
             TlbStats {
-                lookups: a.lookups - b.lookups,
-                hits: a.hits - b.hits,
-                misses: a.misses - b.misses,
-                reloads: a.reloads - b.reloads,
-                tlbie: a.tlbie - b.tlbie,
-                flush_all: a.flush_all - b.flush_all,
+                lookups: a.lookups.saturating_sub(b.lookups),
+                hits: a.hits.saturating_sub(b.hits),
+                misses: a.misses.saturating_sub(b.misses),
+                reloads: a.reloads.saturating_sub(b.reloads),
+                tlbie: a.tlbie.saturating_sub(b.tlbie),
+                flush_all: a.flush_all.saturating_sub(b.flush_all),
             }
         }
         MonitorSnapshot {
-            cycles: self.cycles - earlier.cycles,
+            cycles: self.cycles.saturating_sub(earlier.cycles),
             itlb: tlb(&self.itlb, &earlier.itlb),
             dtlb: tlb(&self.dtlb, &earlier.dtlb),
             icache: self.icache.delta(&earlier.icache),
             dcache: self.dcache.delta(&earlier.dcache),
-            ibat_hits: self.ibat_hits - earlier.ibat_hits,
-            dbat_hits: self.dbat_hits - earlier.dbat_hits,
+            ibat_hits: self.ibat_hits.saturating_sub(earlier.ibat_hits),
+            dbat_hits: self.dbat_hits.saturating_sub(earlier.dbat_hits),
         }
     }
 
@@ -100,5 +107,28 @@ mod tests {
         assert_eq!(d.dtlb.misses, 3);
         assert_eq!(d.dbat_hits, 4);
         assert_eq!(d.tlb_misses(), 3);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let newer = MonitorSnapshot {
+            cycles: 10,
+            ibat_hits: 3,
+            ..Default::default()
+        };
+        let older = MonitorSnapshot {
+            cycles: 500,
+            ibat_hits: 9,
+            dtlb: TlbStats {
+                misses: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Reversed window: every counter clamps to zero.
+        let d = newer.delta(&older);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.ibat_hits, 0);
+        assert_eq!(d.dtlb.misses, 0);
     }
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI gate for performance regressions: regenerate the benchmark baseline at
+# quick depth and compare each workload's headline cycle count against the
+# committed BENCH_PR3.json. The simulator is deterministic, so any drift is
+# a real behavior change; more than 2% slower fails the gate. (Speedups and
+# small modeling shifts pass — refresh the baseline deliberately with
+#   cargo run --release -p bench --bin repro -- bench --json BENCH_PR3.json
+# and commit the diff.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_PR3.json"
+if [ ! -f "$baseline" ]; then
+    echo "FAIL: $baseline is not committed" >&2
+    exit 1
+fi
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+cargo run --release -p bench --bin repro -- bench --depth quick \
+    --json "$out/bench.json" >/dev/null
+
+# Pulls the headline cycle count for one workload out of a bench JSON.
+cycles_of() { # file workload
+    grep -o "\"$2\": {\"cycles\": [0-9]*" "$1" | grep -o '[0-9]*$'
+}
+
+fail=0
+for wl in compile fault_storm trace_ref; do
+    old="$(cycles_of "$baseline" "$wl" || true)"
+    new="$(cycles_of "$out/bench.json" "$wl" || true)"
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "FAIL: workload $wl missing from baseline or fresh run" >&2
+        fail=1
+        continue
+    fi
+    # >2% regression: new * 100 > old * 102 (integer math, no bc needed).
+    if [ "$((new * 100))" -gt "$((old * 102))" ]; then
+        echo "FAIL: $wl regressed ${old} -> ${new} cycles (>2%)" >&2
+        fail=1
+    else
+        echo "bench gate: $wl ${old} -> ${new} cycles"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "bench gate OK: no workload regressed more than 2%"

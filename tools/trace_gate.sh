@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-cargo run --release -p bench --bin repro -- trace --depth quick \
+cargo run --release -p bench --bin repro -- trace pmu --depth quick \
     --json "$out/metrics.json" --trace-out "$out/trace.json" >/dev/null
 
 fail=0
@@ -35,7 +35,51 @@ if ! grep -q '"traceEvents":\[' "$out/trace.json"; then
     fail=1
 fi
 
+# The E-PMU agreement table must ship inside the gated JSON artifact, and
+# its counting-only row must prove the PMU never perturbed the run.
+if ! grep -q '"E-PMU: sampled vs exact attribution' "$out/metrics.json"; then
+    echo "FAIL: metrics.json is missing the E-PMU agreement table" >&2
+    fail=1
+fi
+if ! grep -q '"counting-only".*"identical"' "$out/metrics.json"; then
+    echo "FAIL: counting-only PMU run was not cycle-identical" >&2
+    grep -o '"counting-only"[^]]*' "$out/metrics.json" >&2 || true
+    fail=1
+fi
+
+# The PMU-off identity: the bench baseline's trace_ref workload is the same
+# reference run with tracing AND the PMU both off. Its cycle total must match
+# the traced run's total_cycles exactly — if it doesn't, either the tracer or
+# an idle (counting-only) PMU started charging cycles.
+cargo run --release -p bench --bin repro -- bench --depth quick \
+    --json "$out/bench.json" >/dev/null
+traced="$(grep -o '"total_cycles": [0-9]*' "$out/metrics.json" | head -1 | grep -o '[0-9]*$')"
+untraced="$(grep -o '"trace_ref": {"cycles": [0-9]*' "$out/bench.json" | grep -o '[0-9]*$')"
+if [ -z "$traced" ] || [ -z "$untraced" ] || [ "$traced" != "$untraced" ]; then
+    echo "FAIL: PMU-off/trace-off run diverges: traced=$traced untraced=$untraced" >&2
+    fail=1
+fi
+
+# The perf surface: record a sampled profile and check the report carries
+# every headline metric key.
+cargo run --release -p bench --bin repro -- perf record --depth quick \
+    --workload compile --period 16384 --out "$out/perf.data" >/dev/null
+cargo run --release -p bench --bin repro -- perf report \
+    --in "$out/perf.data" --folded "$out/perf.folded" > "$out/report.txt"
+for key in 'total_cycles ' 'baseline_cycles ' 'sampling_overhead_cycles ' \
+           'interrupts ' 'weighted_samples ' 'sampled_share_ppm' \
+           'exact_share_ppm'; do
+    if ! grep -q -- "$key" "$out/report.txt"; then
+        echo "FAIL: perf report is missing $key" >&2
+        fail=1
+    fi
+done
+if ! grep -q '^pid[0-9]*;' "$out/perf.folded"; then
+    echo "FAIL: folded flamegraph export is empty or malformed" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "trace gate OK: artifacts complete, overhead_cycles = 0"
+echo "trace gate OK: artifacts complete, overhead_cycles = 0, PMU-off identical, perf report complete"
