@@ -17,23 +17,31 @@
 //!
 //! ```text
 //! repro bench [--json <path>]                     # regression baseline JSON
-//! repro perf record [--workload compile|storm] [--period N] [--out <path>]
+//! repro matrix [--json <path>]                    # machine × config × workload grid
+//! repro report                                    # counters, latency, telemetry sparklines
+//! repro diff A.json B.json [--json <path>]        # structured report comparison
+//! repro perf record [--workload compile|storm] [--period N] [--config unopt|opt]
 //! repro perf report [--in <path>] [--folded <path>]
 //! repro perf annotate [--in <path>]
+//! repro perf diff A.perf B.perf [--folded <path>] # profile/flamegraph diff
 //! ```
 //!
 //! `perf record` samples the workload with the modeled 604 PMU and writes a
 //! deterministic `perf.data` text file; `report`/`annotate` render it (or
 //! record in-memory when no `--in` is given); `--folded` exports collapsed
-//! stacks for flamegraph tooling.
+//! stacks for flamegraph tooling. `diff` and `perf diff` refuse to compare
+//! artifacts whose machine/depth/workload headers disagree — only the
+//! kernel-config axis may differ between the two sides.
 
 use bench::{depth_from_args, flag_value, positional_args, EXPERIMENTS};
 use mmu_tricks::bench::bench_report;
+use mmu_tricks::diff::{diff_perf, diff_reports, parse_report};
 use mmu_tricks::experiments as ex;
 use mmu_tricks::experiments::TraceArtifacts;
-use mmu_tricks::perf::{perf_record, PerfData, PerfWorkload};
+use mmu_tricks::matrix::run_matrix;
+use mmu_tricks::perf::{perf_record_on, PerfData, PerfWorkload};
 use mmu_tricks::tables::Table;
-use mmu_tricks::Depth;
+use mmu_tricks::{Depth, KernelConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +58,9 @@ fn main() {
     match wanted[0] {
         "bench" => return bench_main(&args, depth),
         "perf" => return perf_main(&args, depth),
+        "matrix" => return matrix_main(&args, depth),
+        "diff" => return diff_main(&args, &wanted),
+        "report" => return report_main(depth),
         _ => {}
     }
     let run_all = wanted.contains(&"all");
@@ -94,10 +105,108 @@ fn bench_main(args: &[String], depth: Depth) {
     }
 }
 
-/// `repro perf <record|report|annotate>`: the sampled-profiling surface.
+/// `repro matrix`: the full machine × config × workload grid.
+fn matrix_main(args: &[String], depth: Depth) {
+    let grid = run_matrix(depth);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &grid.to_json()),
+        None => {
+            for t in grid.tables() {
+                println!("{}", t.render());
+            }
+        }
+    }
+}
+
+/// `repro report`: the traced reference run's observability artifacts —
+/// counters, self-time, latency percentiles, and the epoch-telemetry
+/// sparklines.
+fn report_main(depth: Depth) {
+    let (_, tables) = ex::trace_artifacts(depth);
+    for t in &tables {
+        println!("{}", t.render());
+    }
+}
+
+/// `repro diff A.json B.json`: structured report comparison.
+fn diff_main(args: &[String], wanted: &[&str]) {
+    let (Some(a_path), Some(b_path)) = (wanted.get(1), wanted.get(2)) else {
+        eprintln!("usage: repro diff <a.json> <b.json> [--json <path>] [--limit N]\n");
+        std::process::exit(1);
+    };
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let d = diff_reports(&read(a_path), &read(b_path)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let limit = flag_value(args, "--limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(25);
+    println!("config A: {}", d.config_a);
+    println!("config B: {}\n", d.config_b);
+    println!("{}", d.table(limit).render());
+    if let Some(path) = flag_value(args, "--json") {
+        write_artifact(&path, &d.to_json());
+    }
+}
+
+/// `repro perf diff A B`: profile comparison (subsystems + folded stacks).
+fn perf_diff_main(args: &[String], positional: &[&str]) {
+    let (Some(a_path), Some(b_path)) = (positional.get(2), positional.get(3)) else {
+        eprintln!("usage: repro perf diff <a.perf> <b.perf> [--folded <path>]\n");
+        std::process::exit(1);
+    };
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        PerfData::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let d = diff_perf(&read(a_path), &read(b_path)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    print!("{}", d.summary());
+    println!();
+    println!("{}", d.table().render());
+    if let Some(path) = flag_value(args, "--folded") {
+        write_artifact(&path, &d.folded_diff_lines());
+    }
+}
+
+/// Maps `--config unopt|opt` to a kernel configuration for `perf record`.
+fn config_preset(args: &[String]) -> KernelConfig {
+    match flag_value(args, "--config").as_deref() {
+        None | Some("opt") => KernelConfig::optimized(),
+        Some("unopt") => KernelConfig::unoptimized(),
+        Some(other) => {
+            eprintln!("unknown --config {other:?} (expected unopt|opt)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro perf <record|report|annotate|diff>`: the sampled-profiling
+/// surface.
 fn perf_main(args: &[String], depth: Depth) {
     let positional = positional_args(args);
     let sub = positional.get(1).copied().unwrap_or("report");
+    if sub == "diff" {
+        return perf_diff_main(args, &positional);
+    }
     let data = match flag_value(args, "--in") {
         Some(path) => {
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -124,7 +233,7 @@ fn perf_main(args: &[String], depth: Depth) {
                     }
                 })
                 .unwrap_or(4096);
-            perf_record(depth, workload, period)
+            perf_record_on(depth, workload, period, config_preset(args))
         }
     };
     match sub {
@@ -141,7 +250,9 @@ fn perf_main(args: &[String], depth: Depth) {
         }
         "annotate" => print!("{}", data.annotate()),
         other => {
-            eprintln!("unknown perf subcommand {other:?} (expected record|report|annotate)\n");
+            eprintln!(
+                "unknown perf subcommand {other:?} (expected record|report|annotate|diff)\n"
+            );
             usage();
             std::process::exit(1);
         }
@@ -168,10 +279,14 @@ fn usage() {
          [--markdown|--csv] [--json <path>] [--trace-out <path>]"
     );
     println!("       repro bench [--json <path>]");
+    println!("       repro matrix [--depth quick|full] [--json <path>]");
+    println!("       repro report [--depth quick|full]");
+    println!("       repro diff <a.json> <b.json> [--json <path>] [--limit N]");
     println!(
         "       repro perf <record|report|annotate> [--workload compile|storm] \
-         [--period N] [--out <path>] [--in <path>] [--folded <path>]\n"
+         [--period N] [--config unopt|opt] [--out <path>] [--in <path>] [--folded <path>]"
     );
+    println!("       repro perf diff <a.perf> <b.perf> [--folded <path>]\n");
     println!("experiments:");
     for (id, desc) in EXPERIMENTS {
         println!("  {id:<16} {desc}");
@@ -184,9 +299,11 @@ fn usage() {
     println!("--trace-out write the Chrome trace_event timeline JSON");
     println!("--workload  perf: workload to sample (compile, storm; default compile)");
     println!("--period    perf: sampling period in cycles (default 4096)");
+    println!("--config    perf record: kernel preset to sample (unopt, opt; default opt)");
     println!("--out       perf record: output path (default perf.data)");
     println!("--in        perf report/annotate: read an existing perf.data");
-    println!("--folded    perf: also write collapsed stacks (flamegraph input)");
+    println!("--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)");
+    println!("--limit     diff: ranked rows to render (default 25)");
 }
 
 /// Everything a run accumulates for the `--json` / `--trace-out` artifacts.
@@ -287,6 +404,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "multiuser" => emit(&ex::exp_multiuser(depth).1, style, out),
         "pressure" => emit(&ex::exp_pressure(depth).1, style, out),
         "pmu" => emit(&ex::exp_pmu(depth).1, style, out),
+        "ematrix" => emit(&ex::exp_matrix(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

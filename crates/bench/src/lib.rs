@@ -48,6 +48,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--in",
     "--folded",
+    "--config",
+    "--limit",
 ];
 
 /// The positional (non-flag) arguments, with value-flag payloads removed.
@@ -144,6 +146,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "pmu",
         "E-PMU: 604 sampled profiling converges to the exact profiler (4)",
+    ),
+    (
+        "ematrix",
+        "E-MATRIX (8): every optimization's before/after sign across machines",
     ),
 ];
 

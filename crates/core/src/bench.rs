@@ -55,10 +55,16 @@ pub struct CompileHeadline {
 }
 
 /// The whole baseline: one struct per workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchBaseline {
     /// `quick` or `full`.
     pub depth: &'static str,
+    /// Machine slug the baseline was recorded on ([`MachineConfig::id`]);
+    /// `repro diff` refuses baselines from different machines.
+    pub machine: String,
+    /// Optimization-toggle summary ([`KernelConfig::summary`]) of the
+    /// measured kernel — the axis a diff is allowed to cross.
+    pub config: String,
     /// Compile headline.
     pub compile: CompileHeadline,
     /// Fault-storm result (seed 42).
@@ -114,6 +120,8 @@ pub fn bench_baseline(depth: Depth) -> BenchBaseline {
             Depth::Quick => "quick",
             Depth::Full => "full",
         },
+        machine: MachineConfig::ppc604_133().id(),
+        config: KernelConfig::optimized().summary(),
         compile,
         storm,
         trace_ref_cycles: k.machine.cycles,
@@ -130,6 +138,7 @@ impl BenchBaseline {
         let s = &self.storm.stats;
         format!(
             "{{\n  \"schema\": \"mmu-tricks-bench-v1\",\n  \"depth\": \"{}\",\n  \
+             \"machine\": \"{}\",\n  \"config\": \"{}\",\n  \
              \"workloads\": {{\n    \"compile\": {{\"cycles\": {}, \"itlb_misses\": {}, \
              \"dtlb_misses\": {}, \"icache_misses\": {}, \"dcache_misses\": {}, \
              \"tlb_reloads\": {}, \"page_faults\": {}, \"htab_hit_ppm\": {}, \
@@ -140,6 +149,8 @@ impl BenchBaseline {
              \"trace_ref\": {{\"cycles\": {}, \"tlb_reloads\": {}, \"page_faults\": {}}}\n  \
              }}\n}}\n",
             self.depth,
+            self.machine,
+            self.config,
             c.cycles,
             c.itlb_misses,
             c.dtlb_misses,
@@ -204,6 +215,8 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         for key in [
             "\"schema\": \"mmu-tricks-bench-v1\"",
+            "\"machine\": \"604-133\"",
+            "\"config\": \"bats=1",
             "\"compile\"",
             "\"fault_storm\"",
             "\"trace_ref\"",

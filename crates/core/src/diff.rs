@@ -1,0 +1,586 @@
+//! `repro diff`: structured comparison of two run artifacts.
+//!
+//! Every artifact this repository emits (`mmu-tricks-bench-v1`,
+//! `mmu-tricks-metrics-v1`, `mmu-tricks-matrix-v1`) is integer-only JSON,
+//! so a diff is exact: parse both documents, flatten every numeric leaf to
+//! a dotted path (`workloads.compile.cycles`, `latency.page_fault.p99`,
+//! `pteg.inserts[17]`), and subtract. The differ *refuses* to compare
+//! documents whose identity headers (schema, depth, machine, workload)
+//! disagree — a cycles delta between a 603 run and a 604 run is
+//! meaningless, and the tool says so instead of printing it. The `config`
+//! header is the one axis allowed to differ: comparing the unoptimized
+//! kernel against the optimized one is the entire point.
+//!
+//! `repro perf diff` is the folded-stack counterpart over two `perf.data`
+//! profiles: per-subsystem weight/exact deltas plus a flamegraph diff in
+//! collapsed format with signed weights (feed it to difffolded.pl-style
+//! tooling or read the rendered ranking).
+
+use std::collections::BTreeMap;
+
+use crate::perf::PerfData;
+use crate::tables::Table;
+
+/// A parsed JSON value (just enough for this repository's integer-only
+/// artifacts; floats are rejected on purpose — none of our schemas emit
+/// them, and exact diffing depends on that).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'\\' {
+                return Err(self.err("escapes are not used by any repro artifact"));
+            }
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            return Err(self.err("floats are not valid in repro artifacts"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// A run artifact flattened for diffing: identity headers plus every
+/// numeric leaf keyed by dotted path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlatReport {
+    /// `schema` header ("" when absent).
+    pub schema: String,
+    /// `depth` header.
+    pub depth: String,
+    /// `machine` header.
+    pub machine: String,
+    /// `workload` header.
+    pub workload: String,
+    /// `config` header (the one identity field a diff may legitimately
+    /// cross).
+    pub config: String,
+    /// Every numeric leaf: dotted path → value.
+    pub numbers: BTreeMap<String, i64>,
+}
+
+fn flatten(prefix: &str, v: &Json, out: &mut FlatReport) {
+    match v {
+        Json::Num(n) => {
+            out.numbers.insert(prefix.to_string(), *n);
+        }
+        Json::Str(s) => match prefix {
+            "schema" => out.schema = s.clone(),
+            "depth" => out.depth = s.clone(),
+            "machine" => out.machine = s.clone(),
+            "workload" => out.workload = s.clone(),
+            "config" => out.config = s.clone(),
+            _ => {}
+        },
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        Json::Obj(fields) => {
+            for (k, item) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, item, out);
+            }
+        }
+    }
+}
+
+/// Parses an artifact into a [`FlatReport`].
+pub fn parse_report(text: &str) -> Result<FlatReport, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    let mut out = FlatReport::default();
+    flatten("", &v, &mut out);
+    Ok(out)
+}
+
+/// One compared leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Dotted path of the leaf.
+    pub key: String,
+    /// Value in A (0 when the key only exists in B).
+    pub a: i64,
+    /// Value in B (0 when the key only exists in A).
+    pub b: i64,
+    /// `b - a`.
+    pub delta: i64,
+}
+
+/// A structured comparison of two flattened reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportDiff {
+    /// Shared schema of the two documents.
+    pub schema: String,
+    /// `config` header of A.
+    pub config_a: String,
+    /// `config` header of B.
+    pub config_b: String,
+    /// Every leaf of either document, sorted by key.
+    pub entries: Vec<DiffEntry>,
+}
+
+fn check_axis(name: &str, a: &str, b: &str) -> Result<(), String> {
+    if a != b {
+        return Err(format!(
+            "refusing to diff: {name} mismatch (A is \"{a}\", B is \"{b}\") — \
+             these runs measure different things; re-record them on the same {name}"
+        ));
+    }
+    Ok(())
+}
+
+/// Diffs two reports, refusing incompatible cells.
+///
+/// The identity headers (`schema`, `depth`, `machine`, `workload`) must
+/// match exactly; `config` may differ — that is the before/after use case.
+pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String> {
+    check_axis("schema", &a.schema, &b.schema)?;
+    check_axis("depth", &a.depth, &b.depth)?;
+    check_axis("machine", &a.machine, &b.machine)?;
+    check_axis("workload", &a.workload, &b.workload)?;
+    let mut keys: Vec<&String> = a.numbers.keys().chain(b.numbers.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    let entries = keys
+        .into_iter()
+        .map(|k| {
+            let av = a.numbers.get(k).copied().unwrap_or(0);
+            let bv = b.numbers.get(k).copied().unwrap_or(0);
+            DiffEntry { key: k.clone(), a: av, b: bv, delta: bv - av }
+        })
+        .collect();
+    Ok(ReportDiff {
+        schema: a.schema.clone(),
+        config_a: a.config.clone(),
+        config_b: b.config.clone(),
+        entries,
+    })
+}
+
+impl ReportDiff {
+    /// Entries with a nonzero delta, largest absolute delta first
+    /// (regressions and improvements ranked together; ties by key).
+    pub fn ranked(&self) -> Vec<&DiffEntry> {
+        let mut v: Vec<&DiffEntry> = self.entries.iter().filter(|e| e.delta != 0).collect();
+        v.sort_by(|x, y| {
+            y.delta
+                .unsigned_abs()
+                .cmp(&x.delta.unsigned_abs())
+                .then(x.key.cmp(&y.key))
+        });
+        v
+    }
+
+    /// The deterministic `mmu-tricks-diff-v1` JSON: identity header plus
+    /// one line per changed leaf (plus a summary count of unchanged ones).
+    pub fn to_json(&self) -> String {
+        let changed = self.ranked();
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"mmu-tricks-diff-v1\",\n");
+        s.push_str(&format!("  \"compared_schema\": \"{}\",\n", self.schema));
+        s.push_str(&format!("  \"config_a\": \"{}\",\n", self.config_a));
+        s.push_str(&format!("  \"config_b\": \"{}\",\n", self.config_b));
+        s.push_str(&format!("  \"keys\": {},\n", self.entries.len()));
+        s.push_str(&format!("  \"changed\": {},\n", changed.len()));
+        s.push_str("  \"deltas\": [\n");
+        for (i, e) in changed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"key\": \"{}\", \"a\": {}, \"b\": {}, \"delta\": {}}}",
+                e.key, e.a, e.b, e.delta
+            ));
+            s.push_str(if i + 1 < changed.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// The rendered ranking: top `limit` deltas with percentages.
+    pub fn table(&self, limit: usize) -> Table {
+        let ranked = self.ranked();
+        let mut t = Table::new(
+            format!(
+                "diff: {} changed of {} keys ({})",
+                ranked.len(),
+                self.entries.len(),
+                self.schema
+            ),
+            vec![
+                "key".into(),
+                "a".into(),
+                "b".into(),
+                "delta".into(),
+                "relative".into(),
+            ],
+        );
+        for e in ranked.iter().take(limit) {
+            let rel = if e.a != 0 {
+                format!("{:+.1}%", 100.0 * e.delta as f64 / e.a.unsigned_abs() as f64)
+            } else {
+                "new".into()
+            };
+            t.push_row(vec![
+                e.key.clone(),
+                format!("{}", e.a),
+                format!("{}", e.b),
+                format!("{:+}", e.delta),
+                rel,
+            ]);
+        }
+        t
+    }
+}
+
+/// A flamegraph/profile diff of two `perf.data` recordings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfDiff {
+    /// `config` header of A.
+    pub config_a: String,
+    /// `config` header of B.
+    pub config_b: String,
+    /// Exact-cycle totals of A and B.
+    pub total_cycles: (u64, u64),
+    /// Weighted-sample totals of A and B.
+    pub total_weight: (u64, u64),
+    /// `(subsystem, weight in A, weight in B, exact cycles in A, exact
+    /// cycles in B)`, one row per subsystem appearing in either profile.
+    pub subsystems: Vec<(String, u64, u64, u64, u64)>,
+    /// `(collapsed stack, weight in A, weight in B)`, union of both folded
+    /// profiles sorted by stack.
+    pub folded: Vec<(String, u64, u64)>,
+}
+
+/// Diffs two profiles, refusing incompatible recordings: workload, depth,
+/// machine and sampling period must all match (weights are only comparable
+/// at equal periods); kernel config may differ.
+pub fn diff_perf(a: &PerfData, b: &PerfData) -> Result<PerfDiff, String> {
+    check_axis("workload", &a.workload, &b.workload)?;
+    check_axis("depth", &a.depth, &b.depth)?;
+    check_axis("machine", &a.machine, &b.machine)?;
+    check_axis("period", &a.period.to_string(), &b.period.to_string())?;
+    let mut subs: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+    for (name, w, e) in &a.subsystems {
+        let s = subs.entry(name.clone()).or_default();
+        s.0 = *w;
+        s.2 = *e;
+    }
+    for (name, w, e) in &b.subsystems {
+        let s = subs.entry(name.clone()).or_default();
+        s.1 = *w;
+        s.3 = *e;
+    }
+    let mut folded: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (k, w) in &a.folded {
+        folded.entry(k.clone()).or_default().0 = *w;
+    }
+    for (k, w) in &b.folded {
+        folded.entry(k.clone()).or_default().1 = *w;
+    }
+    Ok(PerfDiff {
+        config_a: a.config.clone(),
+        config_b: b.config.clone(),
+        total_cycles: (a.total_cycles, b.total_cycles),
+        total_weight: (a.total_weight(), b.total_weight()),
+        subsystems: subs
+            .into_iter()
+            .map(|(n, (wa, wb, ea, eb))| (n, wa, wb, ea, eb))
+            .collect(),
+        folded: folded.into_iter().map(|(k, (wa, wb))| (k, wa, wb)).collect(),
+    })
+}
+
+impl PerfDiff {
+    /// Exact-cycle delta (B − A): negative means B is faster.
+    pub fn cycles_delta(&self) -> i64 {
+        self.total_cycles.1 as i64 - self.total_cycles.0 as i64
+    }
+
+    /// Weighted-sample delta (B − A).
+    pub fn weight_delta(&self) -> i64 {
+        self.total_weight.1 as i64 - self.total_weight.0 as i64
+    }
+
+    /// The folded flamegraph diff: one `stack signed-delta` line per stack
+    /// whose weight changed, sorted by stack. The deltas sum exactly to
+    /// [`PerfDiff::weight_delta`] (every sample is accounted for).
+    pub fn folded_diff_lines(&self) -> String {
+        let mut s = String::new();
+        for (key, wa, wb) in &self.folded {
+            let d = *wb as i64 - *wa as i64;
+            if d != 0 {
+                s.push_str(&format!("{key} {d:+}\n"));
+            }
+        }
+        s
+    }
+
+    /// Rendered per-subsystem ranking, largest exact-cycle delta first.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "perf diff: {} -> {} exact cycles ({:+})",
+                self.total_cycles.0,
+                self.total_cycles.1,
+                self.cycles_delta()
+            ),
+            vec![
+                "subsystem".into(),
+                "weight_a".into(),
+                "weight_b".into(),
+                "weight_delta".into(),
+                "exact_a".into(),
+                "exact_b".into(),
+                "exact_delta".into(),
+            ],
+        );
+        let mut rows = self.subsystems.clone();
+        rows.sort_by(|x, y| {
+            let dx = (x.4 as i64 - x.3 as i64).unsigned_abs();
+            let dy = (y.4 as i64 - y.3 as i64).unsigned_abs();
+            dy.cmp(&dx).then(x.0.cmp(&y.0))
+        });
+        for (name, wa, wb, ea, eb) in rows {
+            if wa == 0 && wb == 0 && ea == 0 && eb == 0 {
+                continue;
+            }
+            t.push_row(vec![
+                name,
+                format!("{wa}"),
+                format!("{wb}"),
+                format!("{:+}", wb as i64 - wa as i64),
+                format!("{ea}"),
+                format!("{eb}"),
+                format!("{:+}", eb as i64 - ea as i64),
+            ]);
+        }
+        t
+    }
+
+    /// Flat `key value` summary lines (gates grep these).
+    pub fn summary(&self) -> String {
+        format!(
+            "cycles_a {}\ncycles_b {}\ncycles_delta {:+}\nweight_a {}\nweight_b {}\n\
+             weight_delta {:+}\nstacks_changed {}\n",
+            self.total_cycles.0,
+            self.total_cycles.1,
+            self.cycles_delta(),
+            self.total_weight.0,
+            self.total_weight.1,
+            self.weight_delta(),
+            self.folded
+                .iter()
+                .filter(|(_, wa, wb)| wa != wb)
+                .count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(config: &str, cycles: u64, faults: u64) -> String {
+        format!(
+            "{{\"schema\": \"mmu-tricks-bench-v1\", \"depth\": \"quick\", \
+             \"machine\": \"604-133\", \"config\": \"{config}\", \
+             \"workloads\": {{\"compile\": {{\"cycles\": {cycles}, \
+             \"page_faults\": {faults}}}, \"list\": [1, 2, 3]}}}}"
+        )
+    }
+
+    #[test]
+    fn parser_handles_every_artifact_shape() {
+        let r = parse_report(&doc("opt", 100, 5)).unwrap();
+        assert_eq!(r.schema, "mmu-tricks-bench-v1");
+        assert_eq!(r.machine, "604-133");
+        assert_eq!(r.numbers["workloads.compile.cycles"], 100);
+        assert_eq!(r.numbers["workloads.list[2]"], 3);
+        assert!(parse_report("{\"x\": 1.5}").is_err(), "floats rejected");
+        assert!(parse_report("{\"x\": 1} trailing").is_err());
+        assert!(parse_report("").is_err());
+        // Negative numbers parse (diff JSON itself contains them).
+        assert_eq!(parse_report("{\"d\": -42}").unwrap().numbers["d"], -42);
+    }
+
+    #[test]
+    fn diff_subtracts_and_ranks() {
+        let a = parse_report(&doc("unopt", 1000, 50)).unwrap();
+        let b = parse_report(&doc("opt", 900, 80)).unwrap();
+        let d = diff_reports(&a, &b).unwrap();
+        let cycles = d
+            .entries
+            .iter()
+            .find(|e| e.key == "workloads.compile.cycles")
+            .unwrap();
+        assert_eq!(cycles.delta, -100);
+        assert_eq!(d.ranked()[0].key, "workloads.compile.cycles");
+        assert_eq!(d.config_a, "unopt");
+        assert_eq!(d.config_b, "opt");
+        let j = d.to_json();
+        assert!(j.contains("\"schema\": \"mmu-tricks-diff-v1\""));
+        assert!(j.contains("\"delta\": -100"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn incompatible_cells_are_refused_with_a_clear_error() {
+        let a = parse_report(&doc("opt", 100, 5)).unwrap();
+        let mut b = a.clone();
+        b.machine = "603-133".into();
+        let err = diff_reports(&a, &b).unwrap_err();
+        assert!(err.contains("machine mismatch"), "{err}");
+        assert!(err.contains("604-133") && err.contains("603-133"), "{err}");
+        let mut c = a.clone();
+        c.depth = "full".into();
+        assert!(diff_reports(&a, &c).unwrap_err().contains("depth mismatch"));
+        // Config difference is the use case, never an error.
+        let mut d = a.clone();
+        d.config = "other".into();
+        assert!(diff_reports(&a, &d).is_ok());
+    }
+
+    #[test]
+    fn self_diff_is_all_zero_and_diff_is_antisymmetric() {
+        let a = parse_report(&doc("unopt", 1234, 9)).unwrap();
+        let b = parse_report(&doc("opt", 777, 30)).unwrap();
+        assert!(diff_reports(&a, &a)
+            .unwrap()
+            .entries
+            .iter()
+            .all(|e| e.delta == 0));
+        let ab = diff_reports(&a, &b).unwrap();
+        let ba = diff_reports(&b, &a).unwrap();
+        for (x, y) in ab.entries.iter().zip(ba.entries.iter()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.delta, -y.delta);
+        }
+    }
+}

@@ -16,11 +16,14 @@
 //! paths, no floating-point formatting that varies run to run.
 
 use kernel_sim::sched::USER_BASE;
-use kernel_sim::{Kernel, KernelConfig, KernelStats, LatencyPath, Subsystem};
+use kernel_sim::telemetry::SERIES_NAMES;
+use kernel_sim::{
+    EpochSample, Kernel, KernelConfig, KernelStats, LatencyPath, Subsystem, TelemetryConfig,
+};
 use ppc_machine::MachineConfig;
 use ppc_mmu::addr::PAGE_SIZE;
 
-use crate::tables::Table;
+use crate::tables::{sparkline, Table};
 use crate::Depth;
 
 /// Summary of one latency histogram: count, range, and the percentiles the
@@ -50,6 +53,12 @@ pub struct LatencySummary {
 pub struct TraceArtifacts {
     /// Depth the workload ran at (`quick` or `full`).
     pub depth: &'static str,
+    /// Machine slug (e.g. `604-133`) the run was measured on — recorded so
+    /// the differ can refuse cross-machine comparisons.
+    pub machine: String,
+    /// The kernel's full optimization-toggle summary
+    /// ([`KernelConfig::summary`]).
+    pub config: String,
     /// Total cycles of the traced run.
     pub total_cycles: u64,
     /// `|traced - untraced|` cycles for the same workload. The tracer is
@@ -76,6 +85,11 @@ pub struct TraceArtifacts {
     pub ring_dropped: u64,
     /// Chrome `trace_event` JSON of the ring.
     pub chrome_json: String,
+    /// Epoch width of the telemetry sampler (cycles).
+    pub telemetry_epoch_cycles: u64,
+    /// The MMU time series, one sample per crossed epoch (plus the final
+    /// tail sample).
+    pub telemetry: Vec<EpochSample>,
 }
 
 impl TraceArtifacts {
@@ -97,6 +111,8 @@ impl TraceArtifacts {
         s.push_str("  \"schema\": \"mmu-tricks-metrics-v1\",\n");
         s.push_str("  \"workload\": \"compile+signals\",\n");
         s.push_str(&format!("  \"depth\": \"{}\",\n", self.depth));
+        s.push_str(&format!("  \"machine\": \"{}\",\n", self.machine));
+        s.push_str(&format!("  \"config\": \"{}\",\n", self.config));
         s.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
         s.push_str(&format!(
             "  \"overhead_cycles\": {},\n",
@@ -151,11 +167,77 @@ impl TraceArtifacts {
             join(&self.pteg_collisions),
         ));
         s.push_str(&format!(
-            "  \"ring\": {{\"capacity\": {}, \"recorded\": {}, \"pushed\": {}, \"dropped\": {}}}",
+            "  \"ring\": {{\"capacity\": {}, \"recorded\": {}, \"pushed\": {}, \"dropped\": {}}},\n",
             self.ring_capacity, self.ring_recorded, self.ring_pushed, self.ring_dropped
         ));
+        s.push_str(&format!(
+            "  \"telemetry\": {{\"epoch_cycles\": {}, \"samples\": {}, \"series\": {{",
+            self.telemetry_epoch_cycles,
+            self.telemetry.len()
+        ));
+        for (i, name) in SERIES_NAMES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let vals = self
+                .telemetry
+                .iter()
+                .map(|e| e.series(name).to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            s.push_str(&format!("\"{name}\": [{vals}]"));
+        }
+        s.push_str("}}");
         s
     }
+
+    /// The telemetry time series as a sparkline table (the `repro report`
+    /// view): one row per series with its range and an ASCII plot over the
+    /// run's epochs.
+    pub fn telemetry_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "MMU telemetry over {} epochs of {} cycles ({}, {})",
+                self.telemetry.len(),
+                self.telemetry_epoch_cycles,
+                self.machine,
+                self.depth
+            ),
+            vec![
+                "series".into(),
+                "min".into(),
+                "max".into(),
+                "last".into(),
+                "trend".into(),
+            ],
+        );
+        for name in SERIES_NAMES {
+            let vals: Vec<u64> = self.telemetry.iter().map(|e| e.series(name)).collect();
+            let min = vals.iter().min().copied().unwrap_or(0);
+            let max = vals.iter().max().copied().unwrap_or(0);
+            let last = vals.last().copied().unwrap_or(0);
+            t.push_row(vec![
+                (*name).into(),
+                format!("{min}"),
+                format!("{max}"),
+                format!("{last}"),
+                sparkline(&downsample(&vals, 48)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Reduces a series to at most `width` points by taking the max of each
+/// chunk (peaks are what a trend plot must not lose).
+fn downsample(vals: &[u64], width: usize) -> Vec<f64> {
+    if vals.is_empty() {
+        return Vec::new();
+    }
+    let chunk = vals.len().div_ceil(width);
+    vals.chunks(chunk)
+        .map(|c| *c.iter().max().expect("chunks are non-empty") as f64)
+        .collect()
 }
 
 /// The reference workload: the paper's compile, then a signal-heavy coda so
@@ -184,12 +266,20 @@ pub fn reference_workload(k: &mut Kernel, depth: Depth) {
 /// (604/133), measures the tracer's cycle overhead (zero), and returns the
 /// artifacts plus rendered tables: subsystem self-time and latency
 /// percentiles.
+///
+/// The traced run also carries the epoch telemetry sampler, so the
+/// `overhead_cycles == 0` gate covers the whole observability stack: a run
+/// with tracing *and* telemetry must cost exactly what a bare run costs.
 pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
-    let run = |trace: bool| -> Kernel {
+    let run = |observe: bool| -> Kernel {
         let mut cfg = KernelConfig::optimized();
-        cfg.trace = trace;
+        cfg.trace = observe;
+        if observe {
+            cfg.telemetry = Some(TelemetryConfig::default_epochs());
+        }
         let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
         reference_workload(&mut k, depth);
+        k.telemetry_finish();
         k
     };
     let off = run(false);
@@ -197,6 +287,11 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
     let total_cycles = on.machine.cycles;
     let overhead_cycles = total_cycles.abs_diff(off.machine.cycles);
     let stats = on.stats;
+    let telemetry = on
+        .telemetry
+        .as_ref()
+        .map(|t| t.epochs.clone())
+        .unwrap_or_default();
     let now = on.machine.cycles;
     let t = on.tracer.as_mut().expect("tracer enabled");
     t.prof.finish(now);
@@ -228,6 +323,8 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
             Depth::Quick => "quick",
             Depth::Full => "full",
         },
+        machine: MachineConfig::ppc604_133().id(),
+        config: KernelConfig::optimized().summary(),
         total_cycles,
         overhead_cycles,
         attribution,
@@ -240,6 +337,8 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
         ring_pushed: t.ring.total_pushed(),
         ring_dropped: t.ring.dropped(),
         chrome_json: t.chrome_trace_json(),
+        telemetry_epoch_cycles: kernel_sim::telemetry::DEFAULT_EPOCH_CYCLES,
+        telemetry,
     };
 
     let mut self_time = Table::new(
@@ -288,7 +387,8 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
         ]);
     }
 
-    (art, vec![self_time, lat])
+    let telem = art.telemetry_table();
+    (art, vec![self_time, lat, telem])
 }
 
 #[cfg(test)]
@@ -314,7 +414,11 @@ mod tests {
             assert!(l.p50 <= l.p90 && l.p90 <= l.p99, "{}", l.path);
         }
         assert!(a.pteg_inserts.iter().any(|&n| n > 0));
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
+        // The telemetry series covers the run and plots non-trivially.
+        assert!(a.telemetry.len() >= 4, "quick run spans many epochs");
+        let telem = tables[2].render();
+        assert!(telem.contains("htab_valid") && telem.contains('▁'), "{telem}");
     }
 
     #[test]
@@ -333,6 +437,14 @@ mod tests {
             "\"stats\"",
             "\"pteg\"",
             "\"ring\"",
+            "\"machine\": \"604-133\"",
+            "\"config\": \"bats=1",
+            "\"telemetry\"",
+            "\"epoch_cycles\"",
+            "\"htab_valid\"",
+            "\"zombie_ptes\"",
+            "\"tlb_kernel\"",
+            "\"htab_hit_ppm\"",
         ] {
             assert!(j.contains(key), "metrics.json missing {key}");
         }

@@ -22,10 +22,12 @@
 //! | §10 extensions | [`cache::exp_extensions`] |
 //! | E-PRESSURE | [`pressure::exp_pressure`] |
 //! | E-PMU | [`pmu::exp_pmu`] |
+//! | E-MATRIX | [`ematrix::exp_matrix`] |
 
 pub mod ablate;
 pub mod artifacts;
 pub mod cache;
+pub mod ematrix;
 pub mod extended;
 pub mod fig1;
 pub mod iobat;
@@ -41,6 +43,7 @@ pub use ablate::{
 };
 pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
+pub use ematrix::{exp_matrix, MatrixResult, OptimizationRow};
 pub use extended::extended_suite;
 pub use fig1::translation_walkthrough;
 pub use iobat::exp_io_bat;

@@ -46,7 +46,17 @@ pub fn run_pressure(seed: u64, hogs: u32) -> PressureRun {
 /// recorder runs the same storm with the PMU sampling), returning the
 /// kernel too so callers can read tracer/PMU state.
 pub fn run_pressure_on(cfg: KernelConfig, hogs: u32) -> (PressureRun, Kernel) {
-    let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
+    run_pressure_on_machine(MachineConfig::ppc604_133(), cfg, hogs)
+}
+
+/// The fully parameterized storm: any machine, any kernel configuration —
+/// one bench-matrix cell's worth of fault-storm work.
+pub fn run_pressure_on_machine(
+    machine: MachineConfig,
+    cfg: KernelConfig,
+    hogs: u32,
+) -> (PressureRun, Kernel) {
+    let mut k = Kernel::boot(machine, cfg);
     let k0 = k.stats;
     let c0 = k.machine.cycles;
 

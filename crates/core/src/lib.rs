@@ -30,7 +30,9 @@
 //! ```
 
 pub mod bench;
+pub mod diff;
 pub mod experiments;
+pub mod matrix;
 pub mod perf;
 pub mod tables;
 

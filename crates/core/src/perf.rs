@@ -14,6 +14,8 @@
 //! # perf.data mmu-tricks-perf-v1
 //! workload compile
 //! depth quick
+//! machine 604-133
+//! config bats=1 io_bat=0 vsid=ctx*897 ...
 //! period 4096
 //! total_cycles 8123456
 //! baseline_cycles 8000000
@@ -76,6 +78,11 @@ pub struct PerfData {
     pub workload: String,
     /// `quick` or `full`.
     pub depth: String,
+    /// Machine slug the profile was recorded on (e.g. `604-133`).
+    pub machine: String,
+    /// Kernel optimization-toggle summary ([`KernelConfig::summary`]) of
+    /// the recorded kernel.
+    pub config: String,
     /// Sampling period in cycles.
     pub period: u32,
     /// Total cycles of the sampled run.
@@ -116,6 +123,8 @@ impl PerfData {
         s.push('\n');
         s.push_str(&format!("workload {}\n", self.workload));
         s.push_str(&format!("depth {}\n", self.depth));
+        s.push_str(&format!("machine {}\n", self.machine));
+        s.push_str(&format!("config {}\n", self.config));
         s.push_str(&format!("period {}\n", self.period));
         s.push_str(&format!("total_cycles {}\n", self.total_cycles));
         s.push_str(&format!("baseline_cycles {}\n", self.baseline_cycles));
@@ -143,6 +152,8 @@ impl PerfData {
         let mut d = PerfData {
             workload: String::new(),
             depth: String::new(),
+            machine: String::new(),
+            config: String::new(),
             period: 0,
             total_cycles: 0,
             baseline_cycles: 0,
@@ -172,6 +183,9 @@ impl PerfData {
             match key {
                 "workload" => d.workload = one()?.to_string(),
                 "depth" => d.depth = one()?.to_string(),
+                "machine" => d.machine = one()?.to_string(),
+                // The config summary is a whole space-separated toggle list.
+                "config" => d.config = rest.join(" "),
                 "period" => d.period = num(one()?, line)? as u32,
                 "total_cycles" => d.total_cycles = num(one()?, line)?,
                 "baseline_cycles" => d.baseline_cycles = num(one()?, line)?,
@@ -224,11 +238,13 @@ impl PerfData {
     /// gate greps these).
     pub fn summary(&self) -> String {
         format!(
-            "workload {}\ndepth {}\nsample_period {}\ntotal_cycles {}\n\
+            "workload {}\ndepth {}\nmachine {}\nconfig {}\nsample_period {}\ntotal_cycles {}\n\
              baseline_cycles {}\nsampling_overhead_cycles {}\ninterrupts {}\n\
              weighted_samples {}\nsupervisor_weight {}\nuser_weight {}\n",
             self.workload,
             self.depth,
+            self.machine,
+            self.config,
             self.period,
             self.total_cycles,
             self.baseline_cycles,
@@ -336,12 +352,24 @@ impl PerfData {
     }
 }
 
+/// Records a profile on the optimized kernel (see [`perf_record_on`]).
+pub fn perf_record(depth: Depth, workload: PerfWorkload, period: u32) -> PerfData {
+    perf_record_on(depth, workload, period, KernelConfig::optimized())
+}
+
 /// Records a profile: runs `workload` once with the PMU off (baseline) and
 /// once with cycle sampling at `period`, reading sampled aggregates and the
-/// exact profile from the same sampled run.
-pub fn perf_record(depth: Depth, workload: PerfWorkload, period: u32) -> PerfData {
+/// exact profile from the same sampled run — on an arbitrary kernel
+/// configuration, so `repro perf diff` can compare profiles across
+/// optimization levels (the machine and config land in the file header).
+pub fn perf_record_on(
+    depth: Depth,
+    workload: PerfWorkload,
+    period: u32,
+    kcfg: KernelConfig,
+) -> PerfData {
     let run = |pmu: Option<PmuConfig>| -> Kernel {
-        let mut cfg = KernelConfig::optimized();
+        let mut cfg = kcfg;
         cfg.trace = true;
         cfg.pmu = pmu;
         match workload {
@@ -375,6 +403,8 @@ pub fn perf_record(depth: Depth, workload: PerfWorkload, period: u32) -> PerfDat
             Depth::Full => "full",
         }
         .to_string(),
+        machine: MachineConfig::ppc604_133().id(),
+        config: kcfg.summary(),
         period,
         total_cycles: now,
         baseline_cycles,

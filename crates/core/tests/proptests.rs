@@ -1,0 +1,157 @@
+//! Property-based tests for the differ: the algebra a diff tool must obey
+//! regardless of what the two artifacts contain.
+
+use proptest::prelude::*;
+
+use mmu_tricks::diff::{diff_perf, diff_reports, FlatReport};
+use mmu_tricks::perf::PerfData;
+
+/// Leaf paths a generated report draws from (shape matches the real
+/// artifacts: nested, mixed subsystems).
+fn keys() -> Vec<&'static str> {
+    vec![
+        "workloads.compile.cycles",
+        "workloads.compile.tlb_reloads",
+        "workloads.fault_storm.cycles",
+        "workloads.trace_ref.cycles",
+        "latency.page_fault.p99",
+        "telemetry.epoch_cycles",
+        "pteg.inserts[7]",
+        "self.translate",
+        "self.idle",
+    ]
+}
+
+/// A report with fixed identity headers and the given numeric leaves
+/// (values stay in u32 so deltas never overflow i64).
+fn report_from(pairs: &[(&'static str, u32)]) -> FlatReport {
+    let mut r = FlatReport {
+        schema: "mmu-tricks-bench-v1".into(),
+        depth: "quick".into(),
+        machine: "604-133".into(),
+        workload: "compile".into(),
+        config: "opt".into(),
+        ..FlatReport::default()
+    };
+    for (k, v) in pairs {
+        r.numbers.insert((*k).to_string(), i64::from(*v));
+    }
+    r
+}
+
+/// Collapsed stacks a generated profile draws from.
+fn stacks() -> Vec<&'static str> {
+    vec![
+        "pid1;translate",
+        "pid1;translate;htab_insert",
+        "pid2;page_fault",
+        "pid2;page_fault;htab_insert",
+        "pid3;sched",
+        "idle;idle",
+    ]
+}
+
+/// A folded profile from the given stack/weight pairs, on fixed recording
+/// axes. The single subsystem row carries the folded total, as in a real
+/// recording (every sample lands in exactly one stack and one subsystem).
+fn perf_from(pairs: &[(&'static str, u32)]) -> PerfData {
+    let mut folded: std::collections::BTreeMap<String, u64> = Default::default();
+    for (k, w) in pairs {
+        *folded.entry((*k).to_string()).or_default() += u64::from(*w);
+    }
+    let total: u64 = folded.values().sum();
+    PerfData {
+        workload: "compile".into(),
+        depth: "quick".into(),
+        machine: "604-133".into(),
+        config: "opt".into(),
+        period: 4096,
+        total_cycles: total * 4096,
+        baseline_cycles: total * 4096,
+        interrupts: total,
+        supervisor_weight: total,
+        user_weight: 0,
+        subsystems: vec![("translate".into(), total, total * 4096)],
+        pids: vec![],
+        folded: folded.into_iter().collect(),
+    }
+}
+
+proptest! {
+    /// diff(A, A) is identically zero on every leaf.
+    #[test]
+    fn self_diff_is_all_zero(
+        pairs in prop::collection::vec((prop::sample::select(keys()), any::<u32>()), 0..16),
+    ) {
+        let a = report_from(&pairs);
+        let d = diff_reports(&a, &a).unwrap();
+        prop_assert_eq!(d.entries.len(), a.numbers.len());
+        for e in &d.entries {
+            prop_assert_eq!(e.delta, 0);
+            prop_assert_eq!(e.a, e.b);
+        }
+        prop_assert!(d.ranked().is_empty());
+        prop_assert!(d.to_json().contains("\"changed\": 0"));
+    }
+
+    /// diff(A, B) = -diff(B, A), leaf for leaf, even when the two reports
+    /// have disjoint key sets.
+    #[test]
+    fn diff_is_antisymmetric(
+        pa in prop::collection::vec((prop::sample::select(keys()), any::<u32>()), 0..16),
+        pb in prop::collection::vec((prop::sample::select(keys()), any::<u32>()), 0..16),
+    ) {
+        let (a, b) = (report_from(&pa), report_from(&pb));
+        let ab = diff_reports(&a, &b).unwrap();
+        let ba = diff_reports(&b, &a).unwrap();
+        prop_assert_eq!(ab.entries.len(), ba.entries.len());
+        for (x, y) in ab.entries.iter().zip(ba.entries.iter()) {
+            prop_assert_eq!(&x.key, &y.key);
+            prop_assert_eq!(x.delta, -y.delta);
+            prop_assert_eq!(x.a, y.b);
+            prop_assert_eq!(x.b, y.a);
+        }
+    }
+
+    /// Any identity-header mismatch is refused, whatever the payload.
+    #[test]
+    fn header_mismatch_is_always_refused(
+        pairs in prop::collection::vec((prop::sample::select(keys()), any::<u32>()), 0..16),
+        which in 0usize..4,
+    ) {
+        let a = report_from(&pairs);
+        let mut b = a.clone();
+        match which {
+            0 => b.schema = "mmu-tricks-matrix-v1".into(),
+            1 => b.depth = "full".into(),
+            2 => b.machine = "603-swload".into(),
+            _ => b.workload = "fault_storm".into(),
+        }
+        prop_assert!(diff_reports(&a, &b).is_err());
+        // The config axis alone never refuses.
+        let mut c = a.clone();
+        c.config = "unopt".into();
+        prop_assert!(diff_reports(&a, &c).is_ok());
+    }
+
+    /// The folded flamegraph diff conserves weight: per-stack deltas sum
+    /// exactly to the headline weight delta (no stack dropped or double
+    /// counted, including stacks present on only one side).
+    #[test]
+    fn folded_diff_weights_sum_to_headline_delta(
+        pa in prop::collection::vec((prop::sample::select(stacks()), 0u32..10_000), 0..8),
+        pb in prop::collection::vec((prop::sample::select(stacks()), 0u32..10_000), 0..8),
+    ) {
+        let (a, b) = (perf_from(&pa), perf_from(&pb));
+        let d = diff_perf(&a, &b).unwrap();
+        let folded_sum: i64 = d.folded.iter().map(|(_, wa, wb)| *wb as i64 - *wa as i64).sum();
+        prop_assert_eq!(folded_sum, d.weight_delta());
+        // And the rendered folded-diff lines carry the same sum.
+        let line_sum: i64 = d
+            .folded_diff_lines()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<i64>().unwrap())
+            .sum();
+        prop_assert_eq!(line_sum, d.weight_delta());
+    }
+}

@@ -221,6 +221,11 @@ pub struct KernelConfig {
     /// Performance-monitor unit programming. `None` boots the machine with
     /// no PMU at all — such runs are cycle-identical to pre-PMU kernels.
     pub pmu: Option<PmuConfig>,
+    /// Time-series MMU telemetry ([`crate::telemetry`]): a periodic epoch
+    /// sampler at span transitions. Purely observational like the tracer —
+    /// a sampled run is cycle-identical to an unsampled one; `None` carries
+    /// no sampler and the hook is a single branch.
+    pub telemetry: Option<crate::telemetry::TelemetryConfig>,
 }
 
 impl KernelConfig {
@@ -248,6 +253,7 @@ impl KernelConfig {
             trace: false,
             trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
             pmu: None,
+            telemetry: None,
         }
     }
 
@@ -273,6 +279,7 @@ impl KernelConfig {
             trace: false,
             trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
             pmu: None,
+            telemetry: None,
         }
     }
 
@@ -286,6 +293,52 @@ impl KernelConfig {
             cache_preloads: true,
             ..Self::optimized()
         }
+    }
+
+    /// A deterministic one-line summary of every paper-relevant toggle, for
+    /// artifact headers (`repro bench --json`, `perf.data`, the matrix).
+    /// Two runs are comparable cell-for-cell only when their summaries'
+    /// *shapes* match; the differ uses this string to refuse cross-machine
+    /// or cross-schema comparisons with a clear error instead of emitting
+    /// nonsense deltas.
+    pub fn summary(&self) -> String {
+        let vsid = match self.vsid_policy {
+            VsidPolicy::PidScatter { constant } => format!("pid*{constant}"),
+            VsidPolicy::ContextCounter { constant } => format!("ctx*{constant}"),
+        };
+        let handler = match self.handler {
+            HandlerStyle::SlowC => "slow_c",
+            HandlerStyle::FastAsm => "fast_asm",
+        };
+        let clearing = match self.page_clearing {
+            PageClearing::OnDemand => "on_demand",
+            PageClearing::IdleCached => "idle_cached",
+            PageClearing::IdleUncachedNoList => "idle_uncached_nolist",
+            PageClearing::IdleUncached => "idle_uncached",
+        };
+        let cutoff = match self.flush_cutoff_pages {
+            Some(c) => c.to_string(),
+            None => "none".to_string(),
+        };
+        format!(
+            "bats={} io_bat={} vsid={} handler={} htab_on_603={} lazy_flush={} \
+             cutoff={} idle_reclaim={} scarcity_reclaim={} clearing={} \
+             htab_cached={} pt_cached={} idle_cache_lock={} cache_preloads={}",
+            u8::from(self.use_bats),
+            u8::from(self.io_bat),
+            vsid,
+            handler,
+            u8::from(self.htab_on_603),
+            u8::from(self.lazy_flush),
+            cutoff,
+            u8::from(self.idle_reclaim),
+            u8::from(self.scarcity_reclaim),
+            clearing,
+            u8::from(self.htab_cached),
+            u8::from(self.linux_pt_cached),
+            u8::from(self.idle_cache_lock),
+            u8::from(self.cache_preloads),
+        )
     }
 
     /// Checks internal consistency.
@@ -335,6 +388,20 @@ mod tests {
         assert_eq!(c.handler, HandlerStyle::FastAsm);
         assert!(!c.htab_on_603, "§6.2: hash table improved away on the 603");
         assert_eq!(c.page_clearing, PageClearing::IdleUncached);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_distinguishes_presets() {
+        let u = KernelConfig::unoptimized().summary();
+        let o = KernelConfig::optimized().summary();
+        assert_eq!(u, KernelConfig::unoptimized().summary());
+        assert_ne!(u, o);
+        assert!(u.contains("handler=slow_c") && u.contains("vsid=pid*16"), "{u}");
+        assert!(o.contains("cutoff=20") && o.contains("vsid=ctx*897"), "{o}");
+        // Every toggle appears exactly once, space-separated key=value.
+        for part in o.split(' ') {
+            assert_eq!(part.matches('=').count(), 1, "{part}");
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@ use crate::pmu::PmuState;
 use crate::prof::Subsystem;
 use crate::stats::KernelStats;
 use crate::task::{Pid, Task};
+use crate::telemetry::{MmuReadings, Telemetry};
 use crate::trace::{LatencyPath, TraceEvent, TraceRecord, Tracer};
-use crate::vsid::{kernel_vsid, VsidAllocator};
+use crate::vsid::{is_kernel_vsid, kernel_vsid, VsidAllocator};
 
 /// Per-path instruction counts: how long each kernel code path is.
 ///
@@ -184,6 +185,10 @@ pub struct Kernel {
     /// (the OS half of the PMU; the counters themselves live on
     /// [`Machine::pmu`]).
     pub pmu: Option<Box<PmuState>>,
+    /// The epoch telemetry sampler, when [`KernelConfig::telemetry`] is
+    /// set. Observational like the tracer: polls at span transitions,
+    /// reads MMU state, charges nothing.
+    pub telemetry: Option<Box<Telemetry>>,
 }
 
 impl Kernel {
@@ -267,6 +272,7 @@ impl Kernel {
                 None
             },
             pmu: cfg.pmu.map(|pc| Box::new(PmuState::new(pc))),
+            telemetry: cfg.telemetry.map(|tc| Box::new(Telemetry::new(tc))),
         }
     }
 
@@ -323,6 +329,7 @@ impl Kernel {
     #[inline]
     pub(crate) fn t_enter(&mut self, s: Subsystem) -> Cycles {
         self.pmu_poll();
+        self.telemetry_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(s, now);
@@ -337,6 +344,7 @@ impl Kernel {
     #[inline]
     pub(crate) fn t_exit(&mut self) {
         self.pmu_poll();
+        self.telemetry_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
@@ -351,6 +359,7 @@ impl Kernel {
     #[inline]
     pub(crate) fn t_exit_lat(&mut self, t0: Cycles, path: LatencyPath) {
         self.pmu_poll();
+        self.telemetry_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
@@ -453,6 +462,60 @@ impl Kernel {
     /// reading [`Kernel::pmu`] results; idempotent).
     pub fn pmu_finish(&mut self) {
         self.pmu_poll();
+    }
+
+    /// Takes an epoch telemetry sample when the ledger has crossed the next
+    /// epoch boundary. Called at every span transition alongside
+    /// [`Kernel::pmu_poll`]; a single `None` test when telemetry is off, and
+    /// read-only on the MMU when it fires — never charges cycles, never
+    /// touches cache/TLB replacement state, never writes the trace ring.
+    #[inline]
+    pub(crate) fn telemetry_poll(&mut self) {
+        let now = self.machine.cycles;
+        if !self.telemetry.as_ref().is_some_and(|t| t.due(now)) {
+            return;
+        }
+        let readings = self.mmu_readings();
+        let stats = self.stats;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record(now, readings, &stats);
+        }
+    }
+
+    /// One read-only snapshot of MMU state for the telemetry sampler.
+    fn mmu_readings(&self) -> MmuReadings {
+        let live = |v| self.vsids.is_live(v);
+        let kernel = self.machine.mmu.itlb.entries_matching(is_kernel_vsid)
+            + self.machine.mmu.dtlb.entries_matching(is_kernel_vsid);
+        let total =
+            self.machine.mmu.itlb.valid_entries() + self.machine.mmu.dtlb.valid_entries();
+        MmuReadings {
+            htab_valid: self.htab.valid_entries(),
+            htab_live: self.htab.live_entries(live),
+            full_groups: self.htab.full_groups(),
+            tlb_kernel: kernel,
+            tlb_user: total - kernel,
+        }
+    }
+
+    /// Takes a final telemetry sample covering the tail of the run — the
+    /// partial epoch since the last boundary crossing (call before reading
+    /// [`Kernel::telemetry`]; no-op when telemetry is off or the tail is
+    /// empty).
+    pub fn telemetry_finish(&mut self) {
+        let now = self.machine.cycles;
+        let due = self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.epochs.last().map_or(now > 0, |e| e.cycle < now));
+        if !due {
+            return;
+        }
+        let readings = self.mmu_readings();
+        let stats = self.stats;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record(now, readings, &stats);
+        }
     }
 
     /// The currently running task.

@@ -64,6 +64,7 @@ pub mod signal;
 pub mod stats;
 pub mod syscall;
 pub mod task;
+pub mod telemetry;
 #[cfg(test)]
 mod tests;
 #[cfg(test)]
@@ -86,4 +87,5 @@ pub use pmu::{PmuSample, PmuState};
 pub use prof::{Profiler, Subsystem};
 pub use stats::KernelStats;
 pub use task::{Pid, Task};
+pub use telemetry::{EpochSample, MmuReadings, Telemetry, TelemetryConfig};
 pub use trace::{Histogram, LatencyPath, TraceEvent, TraceRecord, TraceRing, Tracer};

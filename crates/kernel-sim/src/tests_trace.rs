@@ -166,3 +166,78 @@ fn fatal_signal_paths_keep_the_span_stack_balanced() {
         .iter()
         .any(|r| matches!(r.event, TraceEvent::Signal { fatal: true })));
 }
+
+/// A run with optional tracing and optional epoch telemetry (tight epochs so
+/// the quick workload crosses many boundaries).
+fn run_obs(trace: bool, telemetry: bool) -> Kernel {
+    let mut cfg = KernelConfig::optimized();
+    cfg.trace = trace;
+    if telemetry {
+        cfg.telemetry = Some(crate::telemetry::TelemetryConfig::with_epoch(10_000));
+    }
+    let mut k = Kernel::boot(MachineConfig::ppc604_185(), cfg);
+    workload(&mut k);
+    k.telemetry_finish();
+    k
+}
+
+#[test]
+fn telemetry_is_cycle_identical_to_disabled() {
+    let off = run_obs(false, false);
+    let on = run_obs(false, true);
+    assert_eq!(
+        on.machine.cycles, off.machine.cycles,
+        "the epoch sampler must never charge cycles"
+    );
+    assert_eq!(on.stats, off.stats);
+    let (_, snap_on) = on.stats_snapshot();
+    let (_, snap_off) = off.stats_snapshot();
+    assert_eq!(snap_on, snap_off, "down to the cache/TLB monitors");
+    let t = on.telemetry.as_ref().unwrap();
+    assert!(t.epochs.len() >= 4, "tight epochs must yield a real series");
+}
+
+#[test]
+fn telemetry_never_evicts_trace_events() {
+    // Trace ring and epoch sampler on together: the sampler stores samples
+    // in its own buffer, so the ring must see the exact same event stream —
+    // same pushes, same drops, same retained records — and the run must stay
+    // cycle-identical.
+    let bare = run_obs(true, false);
+    let both = run_obs(true, true);
+    assert_eq!(both.machine.cycles, bare.machine.cycles);
+    let rb = &bare.tracer.as_ref().unwrap().ring;
+    let rt = &both.tracer.as_ref().unwrap().ring;
+    assert_eq!(rt.total_pushed(), rb.total_pushed(), "event streams diverge");
+    assert_eq!(rt.dropped(), rb.dropped(), "sampling evicted trace events");
+    assert!(rt.iter().zip(rb.iter()).all(|(a, b)| a == b));
+    assert!(!both.telemetry.as_ref().unwrap().epochs.is_empty());
+}
+
+#[test]
+fn telemetry_series_track_mmu_state() {
+    let k = run_obs(false, true);
+    let t = k.telemetry.as_ref().unwrap();
+    // Sample cycles strictly increase; epoch indices never go backwards
+    // (the final tail sample may share the last boundary's epoch).
+    for w in t.epochs.windows(2) {
+        assert!(w[1].epoch >= w[0].epoch);
+        assert!(w[1].cycle > w[0].cycle);
+    }
+    for e in &t.epochs {
+        assert_eq!(e.zombie_ptes, e.htab_valid - e.htab_live);
+        assert!(e.htab_hit_ppm <= 1_000_000);
+    }
+    // The workload faults real pages: occupancy and reloads must show up.
+    assert!(t.epochs.iter().any(|e| e.htab_valid > 0));
+    assert!(t.epochs.iter().any(|e| e.tlb_reloads > 0));
+    // The kernel runs with BATs on: kernel text never competes for TLB
+    // entries, so kernel-side residency stays at zero while user pages fill.
+    assert!(t.epochs.iter().any(|e| e.tlb_user > 0));
+    // Window deltas must sum to the run totals (the final sample closes the
+    // tail of the series).
+    let reloads: u64 = t.epochs.iter().map(|e| e.tlb_reloads).sum();
+    assert_eq!(reloads, k.stats.tlb_reloads);
+    let hits: u64 = t.epochs.iter().map(|e| e.htab_hits).sum();
+    assert_eq!(hits, k.stats.htab_hits);
+}

@@ -146,6 +146,29 @@ impl MachineConfig {
         }
     }
 
+    /// A stable machine-readable slug derived from the name, for JSON and
+    /// perf.data headers: lowercase, `MHz` dropped, punctuation collapsed to
+    /// single dashes — `"604 133MHz"` → `"604-133"`,
+    /// `"603 133MHz (no L2)"` → `"603-133-no-l2"`.
+    pub fn id(&self) -> String {
+        let mut s = String::new();
+        for part in self
+            .name
+            .to_ascii_lowercase()
+            .replace("mhz", "")
+            .split(|c: char| !c.is_ascii_alphanumeric())
+        {
+            if part.is_empty() {
+                continue;
+            }
+            if !s.is_empty() {
+                s.push('-');
+            }
+            s.push_str(part);
+        }
+        s
+    }
+
     /// All five configurations the paper reports on.
     pub fn all() -> Vec<MachineConfig> {
         vec![
@@ -180,6 +203,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ids_are_stable_slugs_and_unique() {
+        assert_eq!(MachineConfig::ppc604_133().id(), "604-133");
+        assert_eq!(MachineConfig::ppc603_133_no_l2().id(), "603-133-no-l2");
+        assert_eq!(MachineConfig::ppc750_266().id(), "750-266");
+        let ids: Vec<String> = MachineConfig::all().iter().map(|m| m.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "slugs collide: {ids:?}");
     }
 
     #[test]

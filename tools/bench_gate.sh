@@ -44,7 +44,56 @@ for wl in compile fault_storm trace_ref; do
     fi
 done
 
+# Second pass: the multi-machine bench matrix. Every machine × config ×
+# workload cell of the committed BENCH_PR4.json is compared against a fresh
+# run; any cell more than 2% slower fails. This covers every CPU model the
+# paper measures (603 software-reload, 603 no-htab, 604/133, 604/200), not
+# just the 604-133 the headline baseline runs on. Refresh deliberately with
+#   cargo run --release -p bench --bin repro -- matrix --depth quick --json BENCH_PR4.json
+matrix_baseline="BENCH_PR4.json"
+if [ ! -f "$matrix_baseline" ]; then
+    echo "FAIL: $matrix_baseline is not committed" >&2
+    exit 1
+fi
+
+cargo run --release -p bench --bin repro -- matrix --depth quick \
+    --json "$out/matrix.json" >/dev/null
+
+# Pulls "cell cycles" pairs out of a matrix JSON (one cell per line).
+cells_of() { # file
+    grep -o '"cell": "[^"]*", "machine": "[^"]*", "config": "[^"]*", "workload": "[^"]*", "cycles": [0-9]*' "$1" \
+        | sed 's/"cell": "\([^"]*\)".*"cycles": \([0-9]*\)/\1 \2/'
+}
+
+cells_of "$matrix_baseline" > "$out/cells.old"
+cells_of "$out/matrix.json" > "$out/cells.new"
+
+ncells="$(wc -l < "$out/cells.old")"
+if [ "$ncells" -lt 1 ]; then
+    echo "FAIL: no cells parsed from $matrix_baseline" >&2
+    exit 1
+fi
+for m in 603-swload 603-nohtab 604-133 604-200; do
+    if ! grep -q "^$m/" "$out/cells.old"; then
+        echo "FAIL: baseline matrix has no cells for machine $m" >&2
+        fail=1
+    fi
+done
+
+while read -r cell old; do
+    new="$(awk -v c="$cell" '$1 == c {print $2}' "$out/cells.new")"
+    if [ -z "$new" ]; then
+        echo "FAIL: matrix cell $cell missing from fresh run" >&2
+        fail=1
+        continue
+    fi
+    if [ "$((new * 100))" -gt "$((old * 102))" ]; then
+        echo "FAIL: matrix cell $cell regressed ${old} -> ${new} cycles (>2%)" >&2
+        fail=1
+    fi
+done < "$out/cells.old"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench gate OK: no workload regressed more than 2%"
+echo "bench gate OK: no workload regressed more than 2% ($ncells matrix cells checked)"

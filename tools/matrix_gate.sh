@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# CI gate for the differential-observability surface: the bench matrix, the
+# structured diff, the perf/flamegraph diff, and the E-MATRIX ordering.
+#
+# 1. `repro matrix` smoke: the full grid runs at quick depth and the
+#    mmu-tricks-matrix-v1 JSON carries every machine, config and workload.
+# 2. `repro diff` sanity: a self-diff reports zero changes; documents with
+#    mismatched identity headers are refused.
+# 3. `repro perf diff`: profiles of the unoptimized vs optimized kernel on
+#    the same workload diff cleanly, the optimized side is faster, and the
+#    folded flamegraph diff carries signed weights. Profiles of different
+#    workloads are refused.
+# 4. `repro ematrix`: every paper optimization's before/after sign matches
+#    §8 (any "INVERTED" row fails).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+fail=0
+
+# --- 1. matrix smoke + schema validation -----------------------------------
+cargo run --release -p bench --bin repro -- matrix --depth quick \
+    --json "$out/matrix.json" >/dev/null
+
+if ! grep -q '"schema": "mmu-tricks-matrix-v1"' "$out/matrix.json"; then
+    echo "FAIL: matrix.json has the wrong schema" >&2
+    fail=1
+fi
+cells="$(grep -c '"cell": "' "$out/matrix.json" || true)"
+if [ "$cells" -ne 96 ]; then
+    echo "FAIL: expected 96 matrix cells (4 machines x 8 configs x 3 workloads), got $cells" >&2
+    fail=1
+fi
+for m in 603-swload 603-nohtab 604-133 604-200; do
+    if ! grep -q "\"cell\": \"$m/" "$out/matrix.json"; then
+        echo "FAIL: matrix.json has no cells for machine $m" >&2
+        fail=1
+    fi
+done
+for c in unopt opt opt-no-bats opt-untuned-scatter opt-slow-handlers \
+         opt-eager-flush opt-no-idle-reclaim opt-clear-on-demand; do
+    if ! grep -q "/$c/compile\"" "$out/matrix.json"; then
+        echo "FAIL: matrix.json has no cells for config $c" >&2
+        fail=1
+    fi
+done
+for key in '"wall_us"' '"tlb_reloads"' '"p99"' '"machines"' '"configs"'; do
+    if ! grep -q -- "$key" "$out/matrix.json"; then
+        echo "FAIL: matrix.json is missing $key" >&2
+        fail=1
+    fi
+done
+
+# --- 2. structured diff -----------------------------------------------------
+cargo run --release -p bench --bin repro -- bench --depth quick \
+    --json "$out/bench.json" >/dev/null
+cargo run --release -p bench --bin repro -- diff "$out/bench.json" "$out/bench.json" \
+    --json "$out/self-diff.json" >/dev/null
+if ! grep -q '"schema": "mmu-tricks-diff-v1"' "$out/self-diff.json"; then
+    echo "FAIL: diff JSON has the wrong schema" >&2
+    fail=1
+fi
+if ! grep -q '"changed": 0' "$out/self-diff.json"; then
+    echo "FAIL: self-diff reported nonzero changes" >&2
+    grep '"changed"' "$out/self-diff.json" >&2 || true
+    fail=1
+fi
+# Incompatible documents (bench vs matrix schema) must be refused.
+if cargo run --release -p bench --bin repro -- diff \
+       "$out/bench.json" "$out/matrix.json" >/dev/null 2>"$out/refusal.txt"; then
+    echo "FAIL: diff accepted documents with mismatched schemas" >&2
+    fail=1
+elif ! grep -q 'schema mismatch' "$out/refusal.txt"; then
+    echo "FAIL: schema refusal lacks a clear error message:" >&2
+    cat "$out/refusal.txt" >&2
+    fail=1
+fi
+
+# --- 3. perf diff -----------------------------------------------------------
+cargo run --release -p bench --bin repro -- perf record --depth quick \
+    --workload compile --period 16384 --config unopt --out "$out/unopt.perf" >/dev/null
+cargo run --release -p bench --bin repro -- perf record --depth quick \
+    --workload compile --period 16384 --config opt --out "$out/opt.perf" >/dev/null
+cargo run --release -p bench --bin repro -- perf diff "$out/unopt.perf" "$out/opt.perf" \
+    --folded "$out/diff.folded" > "$out/perfdiff.txt"
+for key in 'cycles_delta ' 'weight_delta ' 'stacks_changed '; do
+    if ! grep -q -- "$key" "$out/perfdiff.txt"; then
+        echo "FAIL: perf diff summary is missing $key" >&2
+        fail=1
+    fi
+done
+# unopt -> opt must be an improvement (negative cycle delta).
+if ! grep -q '^cycles_delta -' "$out/perfdiff.txt"; then
+    echo "FAIL: optimized kernel did not improve on unoptimized in perf diff:" >&2
+    grep '^cycles_delta' "$out/perfdiff.txt" >&2 || true
+    fail=1
+fi
+# The folded diff carries signed per-stack weights.
+if ! grep -Eq '^[^ ]+ [+-][0-9]+$' "$out/diff.folded"; then
+    echo "FAIL: folded flamegraph diff has no signed weights" >&2
+    fail=1
+fi
+# Profiles of different workloads must be refused.
+cargo run --release -p bench --bin repro -- perf record --depth quick \
+    --workload storm --period 16384 --out "$out/storm.perf" >/dev/null
+if cargo run --release -p bench --bin repro -- perf diff \
+       "$out/opt.perf" "$out/storm.perf" >/dev/null 2>"$out/refusal2.txt"; then
+    echo "FAIL: perf diff accepted profiles of different workloads" >&2
+    fail=1
+elif ! grep -q 'workload mismatch' "$out/refusal2.txt"; then
+    echo "FAIL: workload refusal lacks a clear error message:" >&2
+    cat "$out/refusal2.txt" >&2
+    fail=1
+fi
+
+# --- 4. E-MATRIX ordering ---------------------------------------------------
+cargo run --release -p bench --bin repro -- ematrix --depth quick > "$out/ematrix.txt"
+if grep -q 'INVERTED' "$out/ematrix.txt"; then
+    echo "FAIL: E-MATRIX found optimization signs that contradict the paper:" >&2
+    grep 'INVERTED' "$out/ematrix.txt" >&2
+    fail=1
+fi
+signs="$(grep -c 'matches paper' "$out/ematrix.txt" || true)"
+if [ "$signs" -lt 12 ]; then
+    echo "FAIL: E-MATRIX table is missing rows (got $signs sign checks)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "matrix gate OK: 96 cells, self-diff clean, incompatible diffs refused, perf diff signed, E-MATRIX matches the paper"

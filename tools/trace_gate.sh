@@ -14,7 +14,9 @@ cargo run --release -p bench --bin repro -- trace pmu --depth quick \
 fail=0
 for key in '"schema"' '"total_cycles"' '"attribution"' '"attribution_total"' \
            '"tlb_reload"' '"page_fault"' '"signal_delivery"' '"stats"' \
-           '"pteg"' '"ring"' '"experiments"'; do
+           '"pteg"' '"ring"' '"experiments"' '"machine"' '"config"' \
+           '"telemetry"' '"epoch_cycles"' '"htab_valid"' '"zombie_ptes"' \
+           '"tlb_kernel"' '"htab_hit_ppm"'; do
     if ! grep -q -- "$key" "$out/metrics.json"; then
         echo "FAIL: metrics.json is missing $key" >&2
         fail=1
@@ -23,10 +25,21 @@ done
 
 # The zero-overhead guarantee: the harness ran the same workload with the
 # tracer off and on and recorded the cycle difference. Any nonzero value
-# means tracing perturbed the simulation.
+# means tracing perturbed the simulation. The traced run also carries the
+# epoch-telemetry sampler, so this single check gates the whole
+# observability stack: trace + telemetry together must be cycle-identical
+# to the bare run.
 if ! grep -q '"overhead_cycles": 0,' "$out/metrics.json"; then
-    echo "FAIL: tracer-on and tracer-off cycle totals diverge:" >&2
+    echo "FAIL: traced+sampled and bare cycle totals diverge:" >&2
     grep '"overhead_cycles"' "$out/metrics.json" >&2 || true
+    fail=1
+fi
+
+# The sampler must actually have sampled (a zero-length series would make
+# the identity check vacuous).
+samples="$(grep -o '"samples": [0-9]*' "$out/metrics.json" | head -1 | grep -o '[0-9]*$')"
+if [ -z "$samples" ] || [ "$samples" -lt 1 ]; then
+    echo "FAIL: telemetry recorded no epoch samples (got '${samples:-none}')" >&2
     fail=1
 fi
 
@@ -79,7 +92,18 @@ if ! grep -q '^pid[0-9]*;' "$out/perf.folded"; then
     fail=1
 fi
 
+# perf.data must identify its machine and kernel config (the headers
+# `repro perf diff` keys its compatibility refusal on).
+if ! grep -q '^machine 604-133$' "$out/perf.data"; then
+    echo "FAIL: perf.data is missing its machine header" >&2
+    fail=1
+fi
+if ! grep -q '^config bats=1 ' "$out/perf.data"; then
+    echo "FAIL: perf.data is missing its config header" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "trace gate OK: artifacts complete, overhead_cycles = 0, PMU-off identical, perf report complete"
+echo "trace gate OK: artifacts complete, trace+telemetry overhead = 0, PMU-off identical, perf report complete"
