@@ -38,8 +38,9 @@ use mmu_tricks::bench::bench_report;
 use mmu_tricks::diff::{diff_perf, diff_reports, parse_report};
 use mmu_tricks::experiments as ex;
 use mmu_tricks::experiments::TraceArtifacts;
-use mmu_tricks::matrix::run_matrix;
+use mmu_tricks::matrix::run_matrix_jobs;
 use mmu_tricks::perf::{perf_record_on, PerfData, PerfWorkload};
+use mmu_tricks::tune::tune_workload;
 use mmu_tricks::tables::Table;
 use mmu_tricks::{Depth, KernelConfig};
 
@@ -59,6 +60,7 @@ fn main() {
         "bench" => return bench_main(&args, depth),
         "perf" => return perf_main(&args, depth),
         "matrix" => return matrix_main(&args, depth),
+        "tune" => return tune_main(&args, depth),
         "diff" => return diff_main(&args, &wanted),
         "report" => return report_main(depth),
         _ => {}
@@ -105,9 +107,20 @@ fn bench_main(args: &[String], depth: Depth) {
     }
 }
 
-/// `repro matrix`: the full machine × config × workload grid.
+/// `repro matrix`: the full machine × config × workload grid. `--jobs N`
+/// runs up to N cells concurrently; the output is byte-identical to a
+/// serial run.
 fn matrix_main(args: &[String], depth: Depth) {
-    let grid = run_matrix(depth);
+    let jobs = flag_value(args, "--jobs")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bad --jobs {v:?} (expected a positive worker count)");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or(1);
+    let grid = run_matrix_jobs(depth, jobs);
     match flag_value(args, "--json") {
         Some(path) => write_artifact(&path, &grid.to_json()),
         None => {
@@ -115,6 +128,28 @@ fn matrix_main(args: &[String], depth: Depth) {
                 println!("{}", t.render());
             }
         }
+    }
+}
+
+/// `repro tune`: offline coordinate descent per machine, emitting the
+/// `mmu-tricks-tune-v1` artifact naming each winning configuration.
+fn tune_main(args: &[String], depth: Depth) {
+    let wl = flag_value(args, "--workload").unwrap_or_else(|| "fault_storm".into());
+    let workload = mmu_tricks::matrix::WORKLOADS
+        .iter()
+        .copied()
+        .find(|w| *w == wl)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown --workload {wl:?} (expected one of {:?})",
+                mmu_tricks::matrix::WORKLOADS
+            );
+            std::process::exit(1);
+        });
+    let result = tune_workload(workload, depth);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &result.to_json()),
+        None => println!("{}", result.table().render()),
     }
 }
 
@@ -279,7 +314,8 @@ fn usage() {
          [--markdown|--csv] [--json <path>] [--trace-out <path>]"
     );
     println!("       repro bench [--json <path>]");
-    println!("       repro matrix [--depth quick|full] [--json <path>]");
+    println!("       repro matrix [--depth quick|full] [--jobs N] [--json <path>]");
+    println!("       repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]");
     println!("       repro report [--depth quick|full]");
     println!("       repro diff <a.json> <b.json> [--json <path>] [--limit N]");
     println!(
@@ -304,6 +340,7 @@ fn usage() {
     println!("--in        perf report/annotate: read an existing perf.data");
     println!("--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)");
     println!("--limit     diff: ranked rows to render (default 25)");
+    println!("--jobs      matrix: cells to run concurrently (default 1; output is byte-identical)");
 }
 
 /// Everything a run accumulates for the `--json` / `--trace-out` artifacts.
@@ -405,6 +442,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "pressure" => emit(&ex::exp_pressure(depth).1, style, out),
         "pmu" => emit(&ex::exp_pmu(depth).1, style, out),
         "ematrix" => emit(&ex::exp_matrix(depth).1, style, out),
+        "etune" => emit(&ex::exp_tune(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

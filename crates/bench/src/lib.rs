@@ -50,6 +50,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--folded",
     "--config",
     "--limit",
+    "--jobs",
 ];
 
 /// The positional (non-flag) arguments, with value-flag payloads removed.
@@ -150,6 +151,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "ematrix",
         "E-MATRIX (8): every optimization's before/after sign across machines",
+    ),
+    (
+        "etune",
+        "E-TUNE: PMU-guided tuned config beats static opt on the fault storm",
     ),
 ];
 

@@ -248,12 +248,22 @@ pub struct ReportDiff {
     pub entries: Vec<DiffEntry>,
 }
 
-fn check_axis(name: &str, a: &str, b: &str) -> Result<(), String> {
-    if a != b {
-        return Err(format!(
-            "refusing to diff: {name} mismatch (A is \"{a}\", B is \"{b}\") — \
-             these runs measure different things; re-record them on the same {name}"
-        ));
+/// Refuses to relate two artifacts whose identity axes differ.
+///
+/// Every comparison surface in this repository — `repro diff`, `repro perf
+/// diff`, and anything diffing `mmu-tricks-tune-v1` artifacts — funnels its
+/// identity headers through this one function, so a new artifact schema
+/// gets refusal semantics (and the same error wording gates grep for) by
+/// listing its axes here instead of re-implementing the check. Each tuple
+/// is `(axis name, value in A, value in B)`.
+pub fn check_identity(axes: &[(&str, &str, &str)]) -> Result<(), String> {
+    for (name, a, b) in axes {
+        if a != b {
+            return Err(format!(
+                "refusing to diff: {name} mismatch (A is \"{a}\", B is \"{b}\") — \
+                 these runs measure different things; re-record them on the same {name}"
+            ));
+        }
     }
     Ok(())
 }
@@ -263,10 +273,12 @@ fn check_axis(name: &str, a: &str, b: &str) -> Result<(), String> {
 /// The identity headers (`schema`, `depth`, `machine`, `workload`) must
 /// match exactly; `config` may differ — that is the before/after use case.
 pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String> {
-    check_axis("schema", &a.schema, &b.schema)?;
-    check_axis("depth", &a.depth, &b.depth)?;
-    check_axis("machine", &a.machine, &b.machine)?;
-    check_axis("workload", &a.workload, &b.workload)?;
+    check_identity(&[
+        ("schema", &a.schema, &b.schema),
+        ("depth", &a.depth, &b.depth),
+        ("machine", &a.machine, &b.machine),
+        ("workload", &a.workload, &b.workload),
+    ])?;
     let mut keys: Vec<&String> = a.numbers.keys().chain(b.numbers.keys()).collect();
     keys.sort();
     keys.dedup();
@@ -382,10 +394,12 @@ pub struct PerfDiff {
 /// machine and sampling period must all match (weights are only comparable
 /// at equal periods); kernel config may differ.
 pub fn diff_perf(a: &PerfData, b: &PerfData) -> Result<PerfDiff, String> {
-    check_axis("workload", &a.workload, &b.workload)?;
-    check_axis("depth", &a.depth, &b.depth)?;
-    check_axis("machine", &a.machine, &b.machine)?;
-    check_axis("period", &a.period.to_string(), &b.period.to_string())?;
+    check_identity(&[
+        ("workload", &a.workload, &b.workload),
+        ("depth", &a.depth, &b.depth),
+        ("machine", &a.machine, &b.machine),
+        ("period", &a.period.to_string(), &b.period.to_string()),
+    ])?;
     let mut subs: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
     for (name, w, e) in &a.subsystems {
         let s = subs.entry(name.clone()).or_default();
@@ -565,6 +579,19 @@ mod tests {
         let mut d = a.clone();
         d.config = "other".into();
         assert!(diff_reports(&a, &d).is_ok());
+    }
+
+    #[test]
+    fn check_identity_reports_the_first_mismatched_axis() {
+        assert!(check_identity(&[("depth", "quick", "quick")]).is_ok());
+        assert!(check_identity(&[]).is_ok());
+        let err = check_identity(&[
+            ("depth", "quick", "quick"),
+            ("machine", "604-133", "603-swload"),
+            ("workload", "compile", "storm"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("machine mismatch"), "{err}");
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! | E-PRESSURE | [`pressure::exp_pressure`] |
 //! | E-PMU | [`pmu::exp_pmu`] |
 //! | E-MATRIX | [`ematrix::exp_matrix`] |
+//! | E-TUNE | [`etune::exp_tune`] |
 
 pub mod ablate;
 pub mod artifacts;
 pub mod cache;
 pub mod ematrix;
+pub mod etune;
 pub mod extended;
 pub mod fig1;
 pub mod iobat;
@@ -44,6 +46,7 @@ pub use ablate::{
 pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
 pub use ematrix::{exp_matrix, MatrixResult, OptimizationRow};
+pub use etune::{exp_tune, TuneGateResult};
 pub use extended::extended_suite;
 pub use fig1::translation_walkthrough;
 pub use iobat::exp_io_bat;

@@ -35,6 +35,7 @@ pub mod experiments;
 pub mod matrix;
 pub mod perf;
 pub mod tables;
+pub mod tune;
 
 pub use kernel_sim::{
     HandlerStyle, Kernel, KernelConfig, KernelStats, OsModel, PageClearing, VsidPolicy,

@@ -267,14 +267,63 @@ pub fn run_matrix_on(
     workloads: &[&'static str],
     depth: Depth,
 ) -> BenchMatrix {
-    let mut cells = Vec::new();
+    run_matrix_on_jobs(machines, variants, workloads, depth, 1)
+}
+
+/// [`run_matrix_on`] with up to `jobs` cells in flight at once.
+///
+/// Cells are independent simulations (each boots its own kernel and
+/// machine; nothing is shared), so the grid parallelizes trivially: workers
+/// claim cell indices from an atomic counter and write into pre-indexed
+/// slots, and the grid is assembled in serial cell order afterwards — the
+/// output, including [`BenchMatrix::to_json`], is **byte-identical** to a
+/// serial run for every `jobs` value (`tools/matrix_gate.sh` asserts it).
+/// `jobs <= 1` takes the serial path with no thread machinery at all.
+pub fn run_matrix_on_jobs(
+    machines: &[MatrixMachine],
+    variants: &[(&'static str, KernelConfig)],
+    workloads: &[&'static str],
+    depth: Depth,
+    jobs: usize,
+) -> BenchMatrix {
+    let mut work = Vec::new();
     for m in machines {
         for (config, cfg) in variants {
             for &w in workloads {
-                cells.push(run_cell(m, config, *cfg, w, depth));
+                work.push((*m, *config, *cfg, w));
             }
         }
     }
+    let cells: Vec<MatrixCell> = if jobs <= 1 {
+        work.iter()
+            .map(|(m, config, cfg, w)| run_cell(m, config, *cfg, w, depth))
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let slots: Vec<std::sync::Mutex<Option<MatrixCell>>> =
+            work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(work.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((m, config, cfg, w)) = work.get(i) else {
+                        break;
+                    };
+                    let cell = run_cell(m, config, *cfg, w, depth);
+                    *slots[i].lock().expect("matrix worker panicked") = Some(cell);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("matrix worker panicked")
+                    .expect("every claimed cell is filled before scope exit")
+            })
+            .collect()
+    };
     BenchMatrix {
         depth: match depth {
             Depth::Quick => "quick",
@@ -292,7 +341,12 @@ pub fn run_matrix_on(
 
 /// The full paper grid: 4 machines × 8 configs × 3 workloads.
 pub fn run_matrix(depth: Depth) -> BenchMatrix {
-    run_matrix_on(&paper_machines(), &paper_variants(), WORKLOADS, depth)
+    run_matrix_jobs(depth, 1)
+}
+
+/// [`run_matrix`] with up to `jobs` cells in flight (`repro matrix --jobs`).
+pub fn run_matrix_jobs(depth: Depth, jobs: usize) -> BenchMatrix {
+    run_matrix_on_jobs(&paper_machines(), &paper_variants(), WORKLOADS, depth, jobs)
 }
 
 impl BenchMatrix {
@@ -449,6 +503,20 @@ mod tests {
             again.cells[0],
             *g.cell("603-swload", "opt", "compile").unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_serial() {
+        let machines = paper_machines();
+        let variants: Vec<_> = paper_variants()
+            .into_iter()
+            .filter(|(id, _)| matches!(*id, "unopt" | "opt"))
+            .collect();
+        // The serial half of the comparison is the shared grid fixture.
+        let serial = grid().to_json();
+        let par =
+            run_matrix_on_jobs(&machines[..], &variants, WORKLOADS, Depth::Quick, 3);
+        assert_eq!(par.to_json(), serial, "--jobs must not change a byte");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! `repro tune`: deterministic offline autotuning over the matrix axes.
+//!
+//! The in-kernel mmtune controller ([`kernel_sim::tune`]) adjusts knobs
+//! *online*, mid-run, from PMU feedback. This module is the offline half of
+//! the loop: a greedy coordinate descent over the same optimization axes
+//! the bench matrix ablates ([`crate::matrix::paper_variants`]) plus the
+//! mmtune controller itself, per machine and workload, measured by actually
+//! running the cell. The §5.1 static `opt` kernel is both the starting
+//! point and the baseline, so the tuned configuration can never be worse
+//! than static `opt` on the cell it was tuned on — the candidate set
+//! contains the baseline — and every improvement it reports is a real,
+//! reproducible cycle delta (all cells are deterministic).
+//!
+//! The matrix itself motivates this: the §8 grid shows several axes
+//! *invert* per machine and workload (idle-time page clearing loses on the
+//! 604s' cache; the §5.2 scatter constant tuned for compile hot-spots is
+//! not the best constant under a fault storm). A single static config
+//! cannot win every cell; a per-cell descent can. `repro tune` emits the
+//! deterministic `mmu-tricks-tune-v1` artifact naming each machine's
+//! winning configuration and its delta, and the E-TUNE experiment
+//! ([`crate::experiments::etune`]) gates the signs.
+
+use kernel_sim::{HandlerStyle, KernelConfig, MmtuneConfig, PageClearing, VsidPolicy};
+
+use crate::matrix::{paper_machines, run_cell, MatrixMachine, WORKLOADS};
+use crate::tables::Table;
+use crate::Depth;
+
+/// The tuning axes, in descent order, each with its candidate settings
+/// (first candidate = the static `opt` value). These are exactly the
+/// matrix's ablation axes plus the mmtune controller.
+pub const AXES: &[(&str, &[&str])] = &[
+    ("mmtune", &["off", "on"]),
+    ("bats", &["on", "off"]),
+    ("scatter", &["897", "16"]),
+    ("handler", &["fast_asm", "slow_c"]),
+    ("flush", &["lazy_cutoff20", "eager"]),
+    ("idle_reclaim", &["on", "off"]),
+    ("page_clearing", &["idle_uncached", "on_demand"]),
+];
+
+/// Applies one axis choice to a configuration.
+///
+/// # Panics
+///
+/// Panics on an unknown axis/choice pair (the descent only passes values
+/// from [`AXES`]).
+pub fn apply_choice(cfg: &mut KernelConfig, axis: &str, choice: &str) {
+    match (axis, choice) {
+        ("mmtune", "off") => cfg.mmtune = None,
+        ("mmtune", "on") => cfg.mmtune = Some(MmtuneConfig::default()),
+        ("bats", "on") => cfg.use_bats = true,
+        ("bats", "off") => cfg.use_bats = false,
+        ("scatter", c) => {
+            cfg.vsid_policy = VsidPolicy::ContextCounter {
+                constant: c.parse().expect("scatter candidates are numeric"),
+            }
+        }
+        ("handler", "fast_asm") => cfg.handler = HandlerStyle::FastAsm,
+        ("handler", "slow_c") => cfg.handler = HandlerStyle::SlowC,
+        ("flush", "lazy_cutoff20") => {
+            cfg.lazy_flush = true;
+            cfg.flush_cutoff_pages = Some(20);
+        }
+        ("flush", "eager") => {
+            cfg.lazy_flush = false;
+            cfg.flush_cutoff_pages = None;
+        }
+        ("idle_reclaim", "on") => cfg.idle_reclaim = true,
+        ("idle_reclaim", "off") => cfg.idle_reclaim = false,
+        ("page_clearing", "idle_uncached") => cfg.page_clearing = PageClearing::IdleUncached,
+        ("page_clearing", "on_demand") => cfg.page_clearing = PageClearing::OnDemand,
+        (a, c) => panic!("unknown tune axis/choice {a:?}/{c:?}"),
+    }
+}
+
+/// Builds the kernel configuration selected by a full choice vector.
+fn build(choices: &[(&'static str, &'static str)]) -> KernelConfig {
+    let mut cfg = KernelConfig::optimized();
+    for (axis, choice) in choices {
+        apply_choice(&mut cfg, axis, choice);
+    }
+    cfg
+}
+
+/// The descent outcome on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineTune {
+    /// Matrix machine row id.
+    pub machine: &'static str,
+    /// Cycles of the static §5.1 `opt` kernel on this cell (the baseline).
+    pub static_cycles: u64,
+    /// Cycles of the winning configuration (`<= static_cycles` by
+    /// construction).
+    pub tuned_cycles: u64,
+    /// Cells actually run (baseline + one per rejected/accepted candidate).
+    pub evals: u32,
+    /// The winning choice per axis, in [`AXES`] order.
+    pub choices: Vec<(&'static str, &'static str)>,
+    /// Online retunes the mmtune controller applied in the winning run
+    /// (0 whenever the descent left mmtune off).
+    pub mmtune_retunes: u64,
+}
+
+impl MachineTune {
+    /// `tuned - static`: zero or negative.
+    pub fn delta(&self) -> i64 {
+        self.tuned_cycles as i64 - self.static_cycles as i64
+    }
+
+    /// Whether the descent found a strict improvement.
+    pub fn wins(&self) -> bool {
+        self.tuned_cycles < self.static_cycles
+    }
+}
+
+/// The tuned configurations for one workload across the matrix machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneResult {
+    /// `quick` or `full`.
+    pub depth: &'static str,
+    /// The workload tuned for.
+    pub workload: &'static str,
+    /// One outcome per machine row, in [`paper_machines`] order.
+    pub outcomes: Vec<MachineTune>,
+}
+
+/// Tunes one machine × workload cell by greedy coordinate descent: walk
+/// [`AXES`] in order, try each non-current candidate, keep a move only on
+/// strict cycle improvement. Everything is deterministic — same depth and
+/// workload, same result, byte for byte.
+pub fn tune_cell(m: &MatrixMachine, workload: &'static str, depth: Depth) -> MachineTune {
+    let mut choices: Vec<(&'static str, &'static str)> =
+        AXES.iter().map(|(name, cands)| (*name, cands[0])).collect();
+    let baseline = run_cell(m, "opt", build(&choices), workload, depth);
+    let static_cycles = baseline.cycles;
+    let mut best = baseline;
+    let mut evals = 1u32;
+    for (ai, (_, cands)) in AXES.iter().enumerate() {
+        for cand in cands.iter() {
+            if *cand == choices[ai].1 {
+                continue;
+            }
+            let mut trial = choices.clone();
+            trial[ai].1 = cand;
+            let cell = run_cell(m, "tuned", build(&trial), workload, depth);
+            evals += 1;
+            if cell.cycles < best.cycles {
+                best = cell;
+                choices = trial;
+            }
+        }
+    }
+    MachineTune {
+        machine: m.id,
+        static_cycles,
+        tuned_cycles: best.cycles,
+        evals,
+        choices,
+        mmtune_retunes: best.stats.mmtune_retunes,
+    }
+}
+
+/// Runs the descent on every matrix machine for `workload`.
+///
+/// # Panics
+///
+/// Panics if `workload` is not one of [`WORKLOADS`].
+pub fn tune_workload(workload: &'static str, depth: Depth) -> TuneResult {
+    assert!(
+        WORKLOADS.contains(&workload),
+        "unknown tune workload {workload:?} (expected one of {WORKLOADS:?})"
+    );
+    TuneResult {
+        depth: match depth {
+            Depth::Quick => "quick",
+            Depth::Full => "full",
+        },
+        workload,
+        outcomes: paper_machines()
+            .iter()
+            .map(|m| tune_cell(m, workload, depth))
+            .collect(),
+    }
+}
+
+impl TuneResult {
+    /// Machines where the tuned configuration strictly beats static `opt`.
+    pub fn wins(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.wins()).count()
+    }
+
+    /// Whether no machine regressed past the mmtune hysteresis bound
+    /// (tuned ≤ static + 2%). The descent's candidate set contains the
+    /// baseline, so this can only fail if the descent logic itself breaks —
+    /// which is exactly why the E-TUNE gate keeps checking it.
+    pub fn never_loses(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.tuned_cycles * 100 <= o.static_cycles * 102)
+    }
+
+    /// The deterministic `mmu-tricks-tune-v1` artifact: identity headers,
+    /// then one line per machine naming the winning configuration and its
+    /// delta vs static `opt`. Integer-only, so `repro diff` can compare two
+    /// tune artifacts — and refuse mismatched depth/workload headers — with
+    /// the same [`crate::diff::check_identity`] semantics as every other
+    /// artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"mmu-tricks-tune-v1\",\n");
+        s.push_str(&format!("  \"depth\": \"{}\",\n", self.depth));
+        s.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
+        s.push_str(&format!("  \"wins\": {},\n", self.wins()));
+        s.push_str("  \"machines\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"machine\": \"{}\", \"static_cycles\": {}, \"tuned_cycles\": {}, \
+                 \"delta\": {}, \"evals\": {}, \"retunes\": {}, \"config\": {{",
+                o.machine,
+                o.static_cycles,
+                o.tuned_cycles,
+                o.delta(),
+                o.evals,
+                o.mmtune_retunes
+            ));
+            for (j, (axis, choice)) in o.choices.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{axis}\": \"{choice}\""));
+            }
+            s.push_str("}}");
+            s.push_str(if i + 1 < self.outcomes.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Rendered per-machine summary.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "repro tune: {} ({} depth) — coordinate descent vs static opt",
+                self.workload, self.depth
+            ),
+            vec![
+                "machine".into(),
+                "static".into(),
+                "tuned".into(),
+                "delta".into(),
+                "evals".into(),
+                "winning non-default axes".into(),
+            ],
+        );
+        for o in &self.outcomes {
+            let moved: Vec<String> = o
+                .choices
+                .iter()
+                .zip(AXES.iter())
+                .filter(|((_, choice), (_, cands))| *choice != cands[0])
+                .map(|((axis, choice), _)| format!("{axis}={choice}"))
+                .collect();
+            t.push_row(vec![
+                o.machine.into(),
+                format!("{}", o.static_cycles),
+                format!("{}", o.tuned_cycles),
+                format!("{:+}", o.delta()),
+                format!("{}", o.evals),
+                if moved.is_empty() {
+                    "(static opt already optimal)".into()
+                } else {
+                    moved.join(" ")
+                },
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff_reports, parse_report};
+
+    #[test]
+    fn axes_cover_optimized_as_first_candidates() {
+        let first: Vec<(&'static str, &'static str)> =
+            AXES.iter().map(|(n, c)| (*n, c[0])).collect();
+        let built = build(&first);
+        let opt = KernelConfig::optimized();
+        // Identical toggles (summary covers every matrix axis) and no
+        // controller: the descent starts exactly at static opt.
+        assert_eq!(built.summary(), opt.summary());
+        assert!(built.mmtune.is_none());
+    }
+
+    #[test]
+    fn every_axis_choice_applies_and_validates() {
+        for (axis, cands) in AXES {
+            for cand in cands.iter() {
+                let mut cfg = KernelConfig::optimized();
+                apply_choice(&mut cfg, axis, cand);
+                cfg.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn tune_artifact_diffs_and_refuses_like_every_other_artifact() {
+        let r = TuneResult {
+            depth: "quick",
+            workload: "fault_storm",
+            outcomes: vec![MachineTune {
+                machine: "604-133",
+                static_cycles: 1000,
+                tuned_cycles: 950,
+                evals: 8,
+                choices: AXES.iter().map(|(n, c)| (*n, c[0])).collect(),
+                mmtune_retunes: 0,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"mmu-tricks-tune-v1\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let flat = parse_report(&j).unwrap();
+        assert_eq!(flat.numbers["machines[0].delta"], -50);
+        // Same headers diff fine; a different workload header is refused —
+        // the shared check_identity semantics, for free.
+        assert!(diff_reports(&flat, &flat).is_ok());
+        let mut other = flat.clone();
+        other.workload = "compile".into();
+        let err = diff_reports(&flat, &other).unwrap_err();
+        assert!(err.contains("workload mismatch"), "{err}");
+    }
+}

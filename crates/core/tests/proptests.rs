@@ -1,10 +1,15 @@
-//! Property-based tests for the differ: the algebra a diff tool must obey
-//! regardless of what the two artifacts contain.
+//! Property-based tests for the differ (the algebra a diff tool must obey
+//! regardless of what the two artifacts contain) and for the mmtune
+//! controller (deterministic, and free when absent or dormant).
 
 use proptest::prelude::*;
 
+use kernel_sim::sched::USER_BASE;
+use kernel_sim::{Kernel, KernelConfig, MmtuneConfig, VsidPolicy};
 use mmu_tricks::diff::{diff_perf, diff_reports, FlatReport};
 use mmu_tricks::perf::PerfData;
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::PAGE_SIZE;
 
 /// Leaf paths a generated report draws from (shape matches the real
 /// artifacts: nested, mixed subsystems).
@@ -153,5 +158,127 @@ proptest! {
             .map(|l| l.rsplit(' ').next().unwrap().parse::<i64>().unwrap())
             .sum();
         prop_assert_eq!(line_sum, d.weight_delta());
+    }
+}
+
+/// A small deterministic MMU-churning workload: `procs` processes each
+/// touching a sliding window of pages and making syscalls for `rounds`
+/// rounds, then an idle stint so idle-task work runs too.
+fn churn(k: &mut Kernel, procs: u32, rounds: u32) {
+    let pids: Vec<_> = (0..procs)
+        .map(|_| k.spawn_process(64).expect("room for a churn process"))
+        .collect();
+    for r in 0..rounds {
+        for &pid in &pids {
+            k.switch_to(pid);
+            for p in 0..8u32 {
+                let page = (r * 8 + p) % 64;
+                let _ = k.user_write(USER_BASE + page * PAGE_SIZE, 16);
+            }
+            k.sys_null();
+        }
+    }
+    k.run_idle(20_000);
+}
+
+/// A controller with hair-trigger thresholds (the churn workload is small,
+/// so the production defaults would never fire — determinism must be
+/// tested over runs that actually retune).
+fn eager_mmtune(epoch_shift: u32, cooldown_epochs: u32) -> MmtuneConfig {
+    MmtuneConfig {
+        epoch_cycles: 1u64 << epoch_shift,
+        cooldown_epochs,
+        bat_reload_threshold: 1,
+        min_tlb_misses: 1,
+        ..MmtuneConfig::default()
+    }
+}
+
+/// A kernel whose knobs start off their tuned values, so the controller has
+/// something to move: PTE-mapped kernel, power-of-two scatter.
+fn untuned_config(mmtune: Option<MmtuneConfig>) -> KernelConfig {
+    KernelConfig {
+        use_bats: false,
+        vsid_policy: VsidPolicy::ContextCounter { constant: 16 },
+        mmtune,
+        ..KernelConfig::optimized()
+    }
+}
+
+/// Guards the determinism property against vacuity: the churn workload on
+/// the untuned config must actually make the controller fire, so the
+/// decision-log comparison below compares something.
+#[test]
+fn churn_on_untuned_config_provokes_retunes() {
+    let mc = eager_mmtune(12, 2);
+    let mut k = Kernel::boot(MachineConfig::ppc604_133(), untuned_config(Some(mc)));
+    churn(&mut k, 3, 23);
+    let m = k.mmtune.as_ref().expect("mmtune-enabled boot");
+    assert!(
+        !m.decisions.is_empty(),
+        "no retunes fired; the determinism proptest would be vacuous"
+    );
+}
+
+proptest! {
+    /// Same seed inputs ⇒ bit-identical run: cycles, every retune decision
+    /// (knob, epoch, cycle, from/to), and the final knob values. This is
+    /// the property the `repro tune` artifact's reproducibility rests on.
+    #[test]
+    fn mmtune_is_deterministic(
+        procs in 1u32..4,
+        rounds in 1u32..24,
+        epoch_shift in 12u32..17,
+        cooldown_epochs in 0u32..3,
+    ) {
+        let mc = eager_mmtune(epoch_shift, cooldown_epochs);
+        let run = || {
+            let mut k = Kernel::boot(
+                MachineConfig::ppc604_133(),
+                untuned_config(Some(mc)),
+            );
+            churn(&mut k, procs, rounds);
+            let m = k.mmtune.as_ref().expect("mmtune-enabled boot");
+            (k.machine.cycles, m.decisions.clone(), m.final_values(), k.stats)
+        };
+        let (c1, d1, f1, s1) = run();
+        let (c2, d2, f2, s2) = run();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(f1, f2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// A dormant controller (thresholds set so no knob can ever fire) is
+    /// cycle-identical to `mmtune: None` — observation is free, only
+    /// applied retunes may cost. With `None` the kernel carries no
+    /// controller at all, which is why mmtune-off runs are also
+    /// cycle-identical to pre-mmtune kernels (BENCH_PR5.json pins that
+    /// against the PR4 baselines).
+    #[test]
+    fn dormant_mmtune_is_cycle_identical_to_none(
+        procs in 1u32..4,
+        rounds in 1u32..24,
+    ) {
+        // Optimized kernel: BATs already on (BAT knob satisfied), scatter
+        // already at the target (scatter knob satisfied), and an impossible
+        // TLB-miss floor keeps the htab knob quiet.
+        let dormant = MmtuneConfig {
+            min_tlb_misses: u64::MAX,
+            ..MmtuneConfig::default()
+        };
+        let run = |mmtune: Option<MmtuneConfig>| {
+            let mut k = Kernel::boot(
+                MachineConfig::ppc604_133(),
+                KernelConfig { mmtune, ..KernelConfig::optimized() },
+            );
+            churn(&mut k, procs, rounds);
+            (k.machine.cycles, k.stats.tlb_reloads, k.stats.mmtune_retunes)
+        };
+        let (on_cycles, on_reloads, retunes) = run(Some(dormant));
+        let (off_cycles, off_reloads, _) = run(None);
+        prop_assert_eq!(retunes, 0, "dormant controller must not fire");
+        prop_assert_eq!(on_cycles, off_cycles);
+        prop_assert_eq!(on_reloads, off_reloads);
     }
 }

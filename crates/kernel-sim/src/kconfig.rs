@@ -226,6 +226,15 @@ pub struct KernelConfig {
     /// a sampled run is cycle-identical to an unsampled one; `None` carries
     /// no sampler and the hook is a single branch.
     pub telemetry: Option<crate::telemetry::TelemetryConfig>,
+    /// PMU-guided adaptive MMU tuning ([`crate::tune`]): an epoch controller
+    /// that retunes BAT coverage, hash-table size, and the VSID scatter
+    /// constant online from PMU event deltas and PTEG collision pressure.
+    /// Unlike the observability features above this one *changes* the run —
+    /// retune work is charged honestly — but `None` carries no controller
+    /// and the hook is a single branch, cycle-identical to pre-mmtune
+    /// kernels. Deliberately excluded from [`KernelConfig::summary`]: a
+    /// tuned run and its static baseline measure the same workload axes.
+    pub mmtune: Option<crate::tune::MmtuneConfig>,
 }
 
 impl KernelConfig {
@@ -254,6 +263,7 @@ impl KernelConfig {
             trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
             pmu: None,
             telemetry: None,
+            mmtune: None,
         }
     }
 
@@ -280,6 +290,7 @@ impl KernelConfig {
             trace_ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
             pmu: None,
             telemetry: None,
+            mmtune: None,
         }
     }
 

@@ -23,6 +23,7 @@ use crate::stats::KernelStats;
 use crate::task::{Pid, Task};
 use crate::telemetry::{MmuReadings, Telemetry};
 use crate::trace::{LatencyPath, TraceEvent, TraceRecord, Tracer};
+use crate::tune::{Mmtune, RetuneDecision, TuneAction, TuneInputs, TuneKnob};
 use crate::vsid::{is_kernel_vsid, kernel_vsid, VsidAllocator};
 
 /// Per-path instruction counts: how long each kernel code path is.
@@ -189,6 +190,12 @@ pub struct Kernel {
     /// set. Observational like the tracer: polls at span transitions,
     /// reads MMU state, charges nothing.
     pub telemetry: Option<Box<Telemetry>>,
+    /// The adaptive MMU tuning controller, when [`KernelConfig::mmtune`]
+    /// is set. Unlike the observers above it *changes* the run: retune
+    /// decisions reprogram BATs, rehash the hash table, or retune the VSID
+    /// scatter constant, and every cycle of that work is charged to
+    /// [`Subsystem::Mmtune`].
+    pub mmtune: Option<Box<Mmtune>>,
 }
 
 impl Kernel {
@@ -273,6 +280,9 @@ impl Kernel {
             },
             pmu: cfg.pmu.map(|pc| Box::new(PmuState::new(pc))),
             telemetry: cfg.telemetry.map(|tc| Box::new(Telemetry::new(tc))),
+            mmtune: cfg
+                .mmtune
+                .map(|mc| Box::new(Mmtune::new(mc, cfg.use_bats))),
         }
     }
 
@@ -330,6 +340,10 @@ impl Kernel {
     pub(crate) fn t_enter(&mut self, s: Subsystem) -> Cycles {
         self.pmu_poll();
         self.telemetry_poll();
+        // Tune *before* the span opens: retune work charged here is
+        // bracketed by its own [`Subsystem::Mmtune`] span and never lands
+        // inside the span that is about to start.
+        self.tune_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(s, now);
@@ -352,6 +366,9 @@ impl Kernel {
         if let Some(p) = self.pmu.as_mut() {
             p.stack.pop();
         }
+        // Tune *after* the span closes so the retune charge is attributed
+        // to [`Subsystem::Mmtune`], not the subsystem that just exited.
+        self.tune_poll();
     }
 
     /// Closes the innermost span and records `now - t0` as a latency sample
@@ -374,6 +391,14 @@ impl Kernel {
         if let Some(hw) = self.machine.pmu.as_mut() {
             hw.note_duration(now.saturating_sub(t0), true);
         }
+        // The controller's own PMU sees the same duration events as the
+        // machine PMU — its slow-reload counter is what feeds the htab grow
+        // condition.
+        if let Some(m) = self.mmtune.as_mut() {
+            m.pmu.note_duration(now.saturating_sub(t0), true);
+        }
+        // Tune last: the latency sample above stays clean of retune cost.
+        self.tune_poll();
     }
 
     /// Synchronises the PMU with the machine counters and services a
@@ -516,6 +541,107 @@ impl Kernel {
         if let Some(t) = self.telemetry.as_mut() {
             t.record(now, readings, &stats);
         }
+    }
+
+    /// Evaluates one mmtune epoch when the ledger has crossed the next
+    /// tuning boundary. Called at every span transition; a single `None`
+    /// test when mmtune is off, so a disabled controller is cycle-free
+    /// (and a proptest holds it to that).
+    #[inline]
+    pub(crate) fn tune_poll(&mut self) {
+        let now = self.machine.cycles;
+        if !self.mmtune.as_ref().is_some_and(|m| m.due(now)) {
+            return;
+        }
+        self.tune_epoch(now);
+    }
+
+    /// The epoch evaluation slow path: snapshot the inputs, ask the
+    /// controller, and apply (and charge) at most one knob move.
+    fn tune_epoch(&mut self, now: Cycles) {
+        // Take the controller out while working: retune work re-enters the
+        // span hooks (reclaim sweeps, charged reads), and a taken-out
+        // controller makes nested epoch evaluation structurally impossible.
+        let Some(mut m) = self.mmtune.take() else {
+            return;
+        };
+        let inputs = TuneInputs {
+            htab_live: self.htab.live_entries(|v| self.vsids.is_live(v)),
+            htab_capacity: self.htab.capacity(),
+            full_groups: self.htab.full_groups(),
+            num_groups: self.htab.hash().num_groups(),
+            uses_htab: self.uses_htab(),
+            current_scatter: self.vsids.policy().constant(),
+        };
+        let snap = self.machine.snapshot();
+        let stats = self.stats;
+        self.stats.mmtune_epochs += 1;
+        if let Some(action) = m.observe(now, &snap, &stats, inputs) {
+            self.apply_retune(&mut m, action);
+        }
+        self.mmtune = Some(m);
+    }
+
+    /// Applies one retune decision, charging its cost to
+    /// [`Subsystem::Mmtune`] (bracketed directly on the profiler, like the
+    /// PM handler — not through [`Kernel::t_enter`], which would re-poll).
+    fn apply_retune(&mut self, m: &mut Mmtune, action: TuneAction) {
+        let now = self.machine.cycles;
+        let epoch = now / m.cfg.epoch_cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.enter(Subsystem::Mmtune, now);
+        }
+        let (knob, from, to) = match action {
+            TuneAction::EnableBats => {
+                // The §5.1 layout, exactly as boot would have programmed it.
+                let bat = BatEntry::new(layout::KERNEL_VIRT_BASE, 0, RAM_BYTES, true);
+                self.machine.mmu.bats.set_dbat(0, Some(bat));
+                self.machine.mmu.bats.set_ibat(0, Some(bat));
+                // Four upper/lower mtspr pairs across the I/D sides.
+                self.machine.charge(16);
+                (TuneKnob::Bat, 0, 1)
+            }
+            TuneAction::SetScatter { from, to } => {
+                self.vsids.set_scatter_constant(to);
+                self.machine.charge(4);
+                (TuneKnob::Scatter, from, to)
+            }
+            TuneAction::ResizeHtab { from, to } => {
+                let cached = self.cfg.htab_cached;
+                // Sweep zombies out first (charged like any reclaim sweep)
+                // so the rehash only moves entries worth keeping.
+                self.reclaim_chunk(from, cached);
+                let mem = &mut self.machine.mem;
+                let mut cost: Cycles = 0;
+                let out = self.htab.resize_with(to, |pa| {
+                    cost += mem.data_read(pa, cached);
+                });
+                // Store commit for every re-inserted PTE.
+                cost += Cycles::from(out.moved) * 2;
+                self.machine.charge(cost);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.resize_groups(to);
+                }
+                // A pending idle sweep can never usefully exceed one pass
+                // over the (new) table.
+                self.reclaim_scan_credit = self.reclaim_scan_credit.min(to);
+                self.stats.mmtune_htab_resizes += 1;
+                (TuneKnob::HtabSize, from, to)
+            }
+        };
+        self.stats.mmtune_retunes += 1;
+        let now = self.machine.cycles;
+        if let Some(t) = self.tracer.as_mut() {
+            t.prof.exit(now);
+        }
+        m.log(RetuneDecision {
+            cycle: now,
+            epoch,
+            knob,
+            from,
+            to,
+        });
+        self.t_event(|| TraceEvent::Retune { knob, from, to });
     }
 
     /// The currently running task.

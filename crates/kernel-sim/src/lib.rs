@@ -76,6 +76,7 @@ mod tests_subsystems;
 #[cfg(test)]
 mod tests_trace;
 pub mod trace;
+pub mod tune;
 pub mod vsid;
 
 pub use errors::{KResult, KernelError, Signal};
@@ -89,3 +90,4 @@ pub use stats::KernelStats;
 pub use task::{Pid, Task};
 pub use telemetry::{EpochSample, MmuReadings, Telemetry, TelemetryConfig};
 pub use trace::{Histogram, LatencyPath, TraceEvent, TraceRecord, TraceRing, Tracer};
+pub use tune::{Mmtune, MmtuneConfig, RetuneDecision, TuneAction, TuneKnob};

@@ -50,13 +50,16 @@ pub enum Subsystem {
     /// The performance-monitor interrupt handler (sampling overhead — the
     /// one observability path that *does* cost cycles).
     Pmu = 10,
+    /// Adaptive MMU retune work ([`crate::tune`]): BAT programming, hash
+    /// table rehashes, scatter updates — the control loop's charged cost.
+    Mmtune = 11,
     /// Everything else: user-mode compute, pipe/file bodies, unbracketed
     /// kernel work.
-    User = 11,
+    User = 12,
 }
 
 /// Number of subsystems (size of the bucket array).
-pub const NUM_SUBSYSTEMS: usize = 12;
+pub const NUM_SUBSYSTEMS: usize = 13;
 
 impl Subsystem {
     /// Every subsystem, in bucket order.
@@ -72,6 +75,7 @@ impl Subsystem {
         Subsystem::Idle,
         Subsystem::Exec,
         Subsystem::Pmu,
+        Subsystem::Mmtune,
         Subsystem::User,
     ];
 
@@ -89,6 +93,7 @@ impl Subsystem {
             Subsystem::Idle => "idle",
             Subsystem::Exec => "exec",
             Subsystem::Pmu => "pmu",
+            Subsystem::Mmtune => "mmtune",
             Subsystem::User => "user",
         }
     }

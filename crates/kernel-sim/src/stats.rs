@@ -94,6 +94,12 @@ kernel_stats! {
     htab_overflows,
     /// Performance-monitor (sampling) interrupts delivered.
     pmu_interrupts,
+    /// Tuning epochs the mmtune controller evaluated.
+    mmtune_epochs,
+    /// Retune decisions applied (any knob).
+    mmtune_retunes,
+    /// Hash-table resize/rehash retunes (a subset of `mmtune_retunes`).
+    mmtune_htab_resizes,
 }
 
 impl KernelStats {
@@ -170,13 +176,13 @@ mod tests {
     fn named_pairs_cover_every_field_exactly_once() {
         let s = KernelStats {
             tlb_reloads: 1,
-            pmu_interrupts: 99,
+            mmtune_htab_resizes: 99,
             ..Default::default()
         };
         let pairs: Vec<(&str, u64)> = s.as_named_pairs().collect();
         assert_eq!(pairs.len(), KernelStats::NAMES.len());
         assert_eq!(pairs[0], ("tlb_reloads", 1));
-        assert_eq!(*pairs.last().unwrap(), ("pmu_interrupts", 99));
+        assert_eq!(*pairs.last().unwrap(), ("mmtune_htab_resizes", 99));
         let mut names: Vec<&str> = pairs.iter().map(|p| p.0).collect();
         names.sort_unstable();
         names.dedup();

@@ -94,6 +94,15 @@ pub enum TraceEvent {
         /// serviceable boundary).
         weight: u32,
     },
+    /// The mmtune controller applied a retune decision.
+    Retune {
+        /// The knob that moved.
+        knob: crate::tune::TuneKnob,
+        /// Knob value before (groups, scatter constant, or 0/1 for BATs).
+        from: u32,
+        /// Knob value after.
+        to: u32,
+    },
 }
 
 impl TraceEvent {
@@ -113,6 +122,7 @@ impl TraceEvent {
             TraceEvent::OomKill { .. } => "oom_kill",
             TraceEvent::Idle { .. } => "idle",
             TraceEvent::PmuSample { .. } => "pmu_sample",
+            TraceEvent::Retune { .. } => "retune",
         }
     }
 
@@ -140,6 +150,9 @@ impl TraceEvent {
             TraceEvent::Idle { budget } => format!("{{\"budget\":{budget}}}"),
             TraceEvent::PmuSample { sub, weight } => {
                 format!("{{\"sub\":\"{}\",\"weight\":{weight}}}", sub.name())
+            }
+            TraceEvent::Retune { knob, from, to } => {
+                format!("{{\"knob\":\"{}\",\"from\":{from},\"to\":{to}}}", knob.name())
             }
         }
     }

@@ -100,6 +100,26 @@ impl VsidAllocator {
         vsids
     }
 
+    /// Retunes the scatter constant in place, keeping the policy kind.
+    ///
+    /// Only *future* contexts are affected: under [`VsidPolicy::ContextCounter`]
+    /// the context number never resets, so VSIDs handed out before the retune
+    /// stay unique and simply age out as zombies — the lazy-flush invariant
+    /// survives a mid-run retune. (Under [`VsidPolicy::PidScatter`] the
+    /// pid→VSID function changes, so a re-keyed PID gets new VSIDs; the old
+    /// ones are retired by the caller like any context switch.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constant` is zero (every context would share VSIDs).
+    pub fn set_scatter_constant(&mut self, constant: u32) {
+        assert!(constant != 0, "scatter constant must be nonzero");
+        match &mut self.policy {
+            VsidPolicy::PidScatter { constant: c }
+            | VsidPolicy::ContextCounter { constant: c } => *c = constant,
+        }
+    }
+
     /// Retires a context's VSIDs: they become zombies.
     pub fn retire(&mut self, vsids: &[Vsid; USER_SEGMENTS]) {
         self.stats.contexts_retired += 1;
@@ -175,6 +195,27 @@ mod tests {
         let v = a.alloc_context(1);
         let set: std::collections::HashSet<_> = v.iter().map(|x| x.raw()).collect();
         assert_eq!(set.len(), USER_SEGMENTS);
+    }
+
+    #[test]
+    fn scatter_retune_affects_future_contexts_only() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 16 });
+        let before = a.alloc_context(1);
+        a.set_scatter_constant(897);
+        assert_eq!(a.policy().constant(), 897);
+        // Old VSIDs stay live until retired; new contexts use the new spread.
+        assert!(a.is_live(before[0]));
+        let after = a.alloc_context(2);
+        assert_ne!(before, after);
+        // Context counter did not reset: VSIDs remain unique.
+        assert_eq!(a.live_count(), 2 * USER_SEGMENTS);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter constant")]
+    fn scatter_retune_rejects_zero() {
+        let mut a = VsidAllocator::new(VsidPolicy::ContextCounter { constant: 897 });
+        a.set_scatter_constant(0);
     }
 
     #[test]

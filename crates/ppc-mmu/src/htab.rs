@@ -105,6 +105,25 @@ pub struct InsertOutcome {
     pub overflow: bool,
 }
 
+/// Result of a [`HashTable::resize_with`] rehash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeOutcome {
+    /// Group count before the rehash.
+    pub old_groups: u32,
+    /// Group count after the rehash.
+    pub new_groups: u32,
+    /// Old-table slots read while scanning (each is one memory reference).
+    pub slots_scanned: u32,
+    /// Valid entries reinserted under the new hash function.
+    pub moved: u32,
+    /// Valid entries dropped because both candidate PTEGs in the new table
+    /// were already full. Safe: the table is a cache of the Linux page
+    /// tables, so a dropped translation simply reloads on its next touch.
+    pub dropped: u32,
+    /// New-table slots probed or written while reinserting.
+    pub reinsert_probes: u32,
+}
+
 /// The architected hashed page table: `num_groups` PTEGs of eight entries,
 /// resident at `base_pa` in simulated physical memory.
 ///
@@ -427,6 +446,85 @@ impl HashTable {
             .count() as u32
     }
 
+    /// Rehashes the table into `new_groups` PTEGs at the same base address,
+    /// carrying every valid entry (live and zombie alike — the table cannot
+    /// tell them apart) across to its slot under the new hash function.
+    ///
+    /// `visit` receives the physical address of every old slot scanned and
+    /// every new slot probed or written, so the caller can charge the rehash
+    /// honestly — exactly like [`HashTable::insert_with`]. The [`HtabStats`]
+    /// counters are deliberately **not** touched: they keep meaning
+    /// "workload-induced traffic", and the retune cost is the caller's to
+    /// account. The reclaim cursor resets (old group indices are
+    /// meaningless); the replacement policy and RNG state carry over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_groups` is not a power of two.
+    pub fn resize_with(
+        &mut self,
+        new_groups: u32,
+        mut visit: impl FnMut(PhysAddr),
+    ) -> ResizeOutcome {
+        let old_groups = self.hash.num_groups();
+        let old = std::mem::replace(
+            &mut self.groups,
+            vec![[Pte::invalid(); PTES_PER_GROUP]; new_groups as usize],
+        );
+        self.hash = HashFunction::new(new_groups);
+        self.rr = vec![0; new_groups as usize];
+        self.reclaim_cursor = 0;
+        let mut out = ResizeOutcome {
+            old_groups,
+            new_groups,
+            slots_scanned: 0,
+            moved: 0,
+            dropped: 0,
+            reinsert_probes: 0,
+        };
+        // Old slot addresses still follow the slot_pa formula: the table
+        // stays at base_pa, the old image just spanned more (or fewer) bytes.
+        for (g, group) in old.iter().enumerate() {
+            for (s, pte) in group.iter().enumerate() {
+                out.slots_scanned += 1;
+                visit(self.base_pa + (g as u32 * PTES_PER_GROUP as u32 + s as u32) * PTE_BYTES);
+                if !pte.valid {
+                    continue;
+                }
+                // Raw reinsert: empty primary slot, then empty secondary
+                // slot, else drop. No displacement — a rehash must not evict
+                // entries it has already placed.
+                let mut pte = *pte;
+                let mut placed = false;
+                'probe: for secondary in [false, true] {
+                    let ng = self.hash.pteg_index(pte.vsid, pte.page_index, secondary);
+                    for slot in 0..PTES_PER_GROUP {
+                        out.reinsert_probes += 1;
+                        visit(self.slot_pa(ng, slot));
+                        if !self.groups[ng as usize][slot].valid {
+                            pte.secondary = secondary;
+                            self.groups[ng as usize][slot] = pte;
+                            visit(self.slot_pa(ng, slot));
+                            placed = true;
+                            break 'probe;
+                        }
+                    }
+                }
+                if placed {
+                    out.moved += 1;
+                } else {
+                    out.dropped += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// [`HashTable::resize_with`] without the probe callback.
+    pub fn resize(&mut self, new_groups: u32) -> ResizeOutcome {
+        self.resize_with(new_groups, |_| {})
+    }
+
     /// Clears the whole table (used at boot and by tests).
     pub fn clear(&mut self) {
         for g in &mut self.groups {
@@ -619,6 +717,86 @@ mod tests {
         }
         h.clear();
         assert_eq!(h.valid_entries(), 0);
+    }
+
+    #[test]
+    fn resize_grow_keeps_every_entry_findable() {
+        let mut h = HashTable::new(64, 0x10_0000);
+        for pi in 0..200 {
+            h.insert(pte(1, pi * 3));
+        }
+        let valid_before = h.valid_entries();
+        let stats_before = *h.stats();
+        let out = h.resize(256);
+        assert_eq!(out.old_groups, 64);
+        assert_eq!(out.new_groups, 256);
+        assert_eq!(out.slots_scanned, 64 * 8);
+        assert_eq!(out.moved, valid_before);
+        assert_eq!(out.dropped, 0, "growing must never drop entries");
+        assert_eq!(h.valid_entries(), valid_before);
+        assert_eq!(
+            *h.stats(),
+            stats_before,
+            "resize must not pollute workload stats"
+        );
+        assert_eq!(h.reclaim_cursor(), 0);
+        for pi in 0..200 {
+            assert!(
+                h.search(Vsid::new(1), pi * 3).pte.is_some(),
+                "entry {pi} lost in rehash"
+            );
+        }
+    }
+
+    #[test]
+    fn resize_shrink_drops_only_on_double_full() {
+        let mut h = HashTable::new(256, 0);
+        for pi in 0..600 {
+            h.insert(pte(1, pi));
+        }
+        let valid_before = h.valid_entries();
+        // 16 groups = 128 slots < 600 entries: drops are forced and counted.
+        let out = h.resize(16);
+        assert_eq!(out.moved + out.dropped, valid_before);
+        assert!(out.dropped > 0);
+        assert_eq!(h.valid_entries(), out.moved);
+        assert!(h.valid_entries() <= 16 * 8);
+    }
+
+    #[test]
+    fn resize_visit_covers_scan_and_reinsert_traffic() {
+        let mut h = HashTable::new(64, 0x10_0000);
+        for pi in 0..40 {
+            h.insert(pte(1, pi));
+        }
+        let mut reads = 0u32;
+        let out = h.resize_with(128, |_| reads += 1);
+        // Every scanned slot, every reinsert probe, and one write per move.
+        assert_eq!(reads, out.slots_scanned + out.reinsert_probes + out.moved);
+    }
+
+    #[test]
+    fn resize_is_deterministic() {
+        let build = || {
+            let mut h = HashTable::new(128, 0);
+            for pi in 0..300 {
+                h.insert(pte(2, pi * 5));
+            }
+            h.resize(32);
+            h.resize(64);
+            h
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.group_histogram(), b.group_histogram());
+        assert_eq!(a.valid_entries(), b.valid_entries());
+    }
+
+    #[test]
+    #[should_panic]
+    fn resize_rejects_non_power_of_two() {
+        let mut h = HashTable::new(64, 0);
+        h.resize(96);
     }
 
     #[test]

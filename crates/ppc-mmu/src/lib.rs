@@ -49,7 +49,7 @@ pub mod translate;
 pub use addr::{EffectiveAddress, PhysAddr, VirtualAddress, Vsid, PAGE_SHIFT, PAGE_SIZE};
 pub use bat::{BatEntry, BatSet};
 pub use hash::HashFunction;
-pub use htab::{HashTable, HtabStats, InsertOutcome, SearchOutcome};
+pub use htab::{HashTable, HtabStats, InsertOutcome, ResizeOutcome, SearchOutcome};
 pub use pte::Pte;
 pub use segment::SegmentRegisters;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

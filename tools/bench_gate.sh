@@ -93,7 +93,50 @@ while read -r cell old; do
     fi
 done < "$out/cells.old"
 
+# Third pass: the tune baseline. BENCH_PR5.json pins the per-machine
+# static and tuned cycle counts of `repro tune` on the fault storm; more
+# than 2% slower on either side fails. Refresh deliberately with
+#   cargo run --release -p bench --bin repro -- tune --depth quick --json BENCH_PR5.json
+tune_baseline="BENCH_PR5.json"
+if [ ! -f "$tune_baseline" ]; then
+    echo "FAIL: $tune_baseline is not committed" >&2
+    exit 1
+fi
+
+cargo run --release -p bench --bin repro -- tune --depth quick \
+    --json "$out/tune.json" >/dev/null
+
+# Pulls "machine static_cycles tuned_cycles" triples out of a tune JSON.
+tune_rows_of() { # file
+    grep -o '"machine": "[^"]*", "static_cycles": [0-9]*, "tuned_cycles": [0-9]*' "$1" \
+        | sed 's/"machine": "\([^"]*\)", "static_cycles": \([0-9]*\), "tuned_cycles": \([0-9]*\)/\1 \2 \3/'
+}
+
+tune_rows_of "$tune_baseline" > "$out/tune.old"
+tune_rows_of "$out/tune.json" > "$out/tune.new"
+if [ "$(wc -l < "$out/tune.old")" -ne 4 ]; then
+    echo "FAIL: expected 4 machine rows in $tune_baseline" >&2
+    exit 1
+fi
+while read -r machine old_static old_tuned; do
+    new_static="$(awk -v m="$machine" '$1 == m {print $2}' "$out/tune.new")"
+    new_tuned="$(awk -v m="$machine" '$1 == m {print $3}' "$out/tune.new")"
+    if [ -z "$new_static" ] || [ -z "$new_tuned" ]; then
+        echo "FAIL: tune row $machine missing from fresh run" >&2
+        fail=1
+        continue
+    fi
+    if [ "$((new_static * 100))" -gt "$((old_static * 102))" ]; then
+        echo "FAIL: tune static cycles on $machine regressed ${old_static} -> ${new_static} (>2%)" >&2
+        fail=1
+    fi
+    if [ "$((new_tuned * 100))" -gt "$((old_tuned * 102))" ]; then
+        echo "FAIL: tuned cycles on $machine regressed ${old_tuned} -> ${new_tuned} (>2%)" >&2
+        fail=1
+    fi
+done < "$out/tune.old"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench gate OK: no workload regressed more than 2% ($ncells matrix cells checked)"
+echo "bench gate OK: no workload regressed more than 2% ($ncells matrix cells and 4 tune rows checked)"

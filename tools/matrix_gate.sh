@@ -53,6 +53,17 @@ for key in '"wall_us"' '"tlb_reloads"' '"p99"' '"machines"' '"configs"'; do
     fi
 done
 
+# --- 1b. parallel matrix is byte-identical ---------------------------------
+# `--jobs N` claims cells from an atomic counter but assembles the grid in
+# serial order, so the artifact must not differ by a single byte.
+cargo run --release -p bench --bin repro -- matrix --depth quick --jobs 4 \
+    --json "$out/matrix-par.json" >/dev/null
+if ! cmp -s "$out/matrix.json" "$out/matrix-par.json"; then
+    echo "FAIL: repro matrix --jobs 4 is not byte-identical to the serial run" >&2
+    diff "$out/matrix.json" "$out/matrix-par.json" | head -5 >&2 || true
+    fail=1
+fi
+
 # --- 2. structured diff -----------------------------------------------------
 cargo run --release -p bench --bin repro -- bench --depth quick \
     --json "$out/bench.json" >/dev/null
@@ -131,4 +142,4 @@ fi
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "matrix gate OK: 96 cells, self-diff clean, incompatible diffs refused, perf diff signed, E-MATRIX matches the paper"
+echo "matrix gate OK: 96 cells, --jobs byte-identical, self-diff clean, incompatible diffs refused, perf diff signed, E-MATRIX matches the paper"
