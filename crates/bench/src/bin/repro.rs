@@ -20,6 +20,8 @@
 //! repro matrix [--json <path>]                    # machine × config × workload grid
 //! repro report                                    # counters, latency, telemetry sparklines
 //! repro diff A.json B.json [--json <path>]        # structured report comparison
+//! repro chaos [--seed N] [--runs N] [--steps N]   # adversarial fuzzing under the checker
+//!             [--check on|off] [--verbose-from N] [--json <path>]
 //! repro perf record [--workload compile|storm] [--period N] [--config unopt|opt]
 //! repro perf report [--in <path>] [--folded <path>]
 //! repro perf annotate [--in <path>]
@@ -33,15 +35,16 @@
 //! artifacts whose machine/depth/workload headers disagree — only the
 //! kernel-config axis may differ between the two sides.
 
-use bench::{depth_from_args, flag_value, positional_args, EXPERIMENTS};
+use bench::{depth_from_args, flag_value, positional_args, unknown_flags, EXPERIMENTS};
 use mmu_tricks::bench::bench_report;
+use mmu_tricks::chaos::{chaos_report, ChaosConfig};
 use mmu_tricks::diff::{diff_perf, diff_reports, parse_report};
 use mmu_tricks::experiments as ex;
 use mmu_tricks::experiments::TraceArtifacts;
 use mmu_tricks::matrix::run_matrix_jobs;
 use mmu_tricks::perf::{perf_record_on, PerfData, PerfWorkload};
-use mmu_tricks::tune::tune_workload;
 use mmu_tricks::tables::Table;
+use mmu_tricks::tune::tune_workload;
 use mmu_tricks::{Depth, KernelConfig};
 
 fn main() {
@@ -52,12 +55,20 @@ fn main() {
     let json_path = flag_value(&args, "--json");
     let trace_out = flag_value(&args, "--trace-out");
     let wanted = positional_args(&args);
-    if wanted.is_empty() {
+    let bad = unknown_flags(&args);
+    if !bad.is_empty() {
+        eprintln!("unknown flag(s): {}\n", bad.join(" "));
         usage();
-        return;
+        std::process::exit(2);
+    }
+    if wanted.is_empty() {
+        eprintln!("missing experiment or subcommand\n");
+        usage();
+        std::process::exit(2);
     }
     match wanted[0] {
         "bench" => return bench_main(&args, depth),
+        "chaos" => return chaos_main(&args),
         "perf" => return perf_main(&args, depth),
         "matrix" => return matrix_main(&args, depth),
         "tune" => return tune_main(&args, depth),
@@ -150,6 +161,94 @@ fn tune_main(args: &[String], depth: Depth) {
     match flag_value(args, "--json") {
         Some(path) => write_artifact(&path, &result.to_json()),
         None => println!("{}", result.table().render()),
+    }
+}
+
+/// Parses a numeric `--flag N`, exiting with a diagnostic on garbage.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {flag} {v:?} (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// `repro chaos`: seeded adversarial fuzzing with the shadow-MM oracle,
+/// runtime invariants, and the full-spectrum fault injector. Exits nonzero
+/// on the first violation, printing the seed, step, config, and a
+/// one-command repro line.
+fn chaos_main(args: &[String]) {
+    let seed0: u64 = numeric_flag(args, "--seed", 1);
+    let runs: u64 = numeric_flag(args, "--runs", 1);
+    let steps: u32 = numeric_flag(args, "--steps", 400);
+    let verbose_from = flag_value(args, "--verbose-from").map(|v| {
+        v.parse::<u32>().unwrap_or_else(|_| {
+            eprintln!("bad --verbose-from {v:?} (expected a step number)");
+            std::process::exit(2);
+        })
+    });
+    let check = match flag_value(args, "--check").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("bad --check {other:?} (expected on|off)");
+            std::process::exit(2);
+        }
+    };
+    let mut lines = Vec::new();
+    let mut failures = 0u64;
+    for seed in seed0..seed0 + runs.max(1) {
+        let mut cfg = if check {
+            ChaosConfig::checked(seed, steps)
+        } else {
+            ChaosConfig::unchecked(seed, steps)
+        };
+        cfg.verbose_from = verbose_from;
+        match chaos_report(&cfg) {
+            Ok(o) => {
+                let line = format!(
+                    "seed {seed}: clean  cycles={} injected={} fatals={} oracle_obs={} invariant_passes={} sweeps={}",
+                    o.cycles,
+                    o.stats.injected_faults,
+                    o.fatals,
+                    o.checked_observations,
+                    o.invariant_passes,
+                    o.heavy_sweeps
+                );
+                println!("{line}");
+                lines.push((seed, o));
+            }
+            Err(f) => {
+                eprintln!("{f}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        let mut j = String::from("{\n  \"schema\": \"mmu-tricks-chaos-v1\",\n");
+        j.push_str(&format!(
+            "  \"check\": \"{}\",\n  \"steps\": {steps},\n  \"seeds\": [\n",
+            if check { "on" } else { "off" }
+        ));
+        for (i, (seed, o)) in lines.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"seed\": {seed}, \"cycles\": {}, \"injected\": {}, \"fatals\": {}, \"oracle_obs\": {}, \"sweeps\": {}}}{}\n",
+                o.cycles,
+                o.stats.injected_faults,
+                o.fatals,
+                o.checked_observations,
+                o.heavy_sweeps,
+                if i + 1 < lines.len() { "," } else { "" }
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        write_artifact(&path, &j);
+    }
+    if failures > 0 {
+        eprintln!("{failures} chaos run(s) FAILED");
+        std::process::exit(1);
     }
 }
 
@@ -285,9 +384,7 @@ fn perf_main(args: &[String], depth: Depth) {
         }
         "annotate" => print!("{}", data.annotate()),
         other => {
-            eprintln!(
-                "unknown perf subcommand {other:?} (expected record|report|annotate|diff)\n"
-            );
+            eprintln!("unknown perf subcommand {other:?} (expected record|report|annotate|diff)\n");
             usage();
             std::process::exit(1);
         }
@@ -308,39 +405,50 @@ fn write_artifact(path: &str, contents: &str) {
 }
 
 fn usage() {
-    println!("repro — regenerate the paper's tables and figures\n");
-    println!(
+    eprintln!("repro — regenerate the paper's tables and figures\n");
+    eprintln!(
         "usage: repro <experiment...|all> [--depth quick|full] [--full] \
          [--markdown|--csv] [--json <path>] [--trace-out <path>]"
     );
-    println!("       repro bench [--json <path>]");
-    println!("       repro matrix [--depth quick|full] [--jobs N] [--json <path>]");
-    println!("       repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]");
-    println!("       repro report [--depth quick|full]");
-    println!("       repro diff <a.json> <b.json> [--json <path>] [--limit N]");
-    println!(
+    eprintln!("       repro bench [--json <path>]");
+    eprintln!("       repro matrix [--depth quick|full] [--jobs N] [--json <path>]");
+    eprintln!("       repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]");
+    eprintln!("       repro report [--depth quick|full]");
+    eprintln!("       repro diff <a.json> <b.json> [--json <path>] [--limit N]");
+    eprintln!(
+        "       repro chaos [--seed N] [--runs N] [--steps N] [--check on|off] \
+         [--verbose-from N] [--json <path>]"
+    );
+    eprintln!(
         "       repro perf <record|report|annotate> [--workload compile|storm] \
          [--period N] [--config unopt|opt] [--out <path>] [--in <path>] [--folded <path>]"
     );
-    println!("       repro perf diff <a.perf> <b.perf> [--folded <path>]\n");
-    println!("experiments:");
+    eprintln!("       repro perf diff <a.perf> <b.perf> [--folded <path>]\n");
+    eprintln!("experiments:");
     for (id, desc) in EXPERIMENTS {
-        println!("  {id:<16} {desc}");
+        eprintln!("  {id:<16} {desc}");
     }
-    println!("\n--depth     quick (CI-sized, default) or full (paper-sized)");
-    println!("--full      shorthand for --depth full");
-    println!("--markdown  render tables as markdown");
-    println!("--csv       render tables as CSV");
-    println!("--json      write a machine-readable run report (metrics.json)");
-    println!("--trace-out write the Chrome trace_event timeline JSON");
-    println!("--workload  perf: workload to sample (compile, storm; default compile)");
-    println!("--period    perf: sampling period in cycles (default 4096)");
-    println!("--config    perf record: kernel preset to sample (unopt, opt; default opt)");
-    println!("--out       perf record: output path (default perf.data)");
-    println!("--in        perf report/annotate: read an existing perf.data");
-    println!("--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)");
-    println!("--limit     diff: ranked rows to render (default 25)");
-    println!("--jobs      matrix: cells to run concurrently (default 1; output is byte-identical)");
+    eprintln!("\n--depth     quick (CI-sized, default) or full (paper-sized)");
+    eprintln!("--full      shorthand for --depth full");
+    eprintln!("--markdown  render tables as markdown");
+    eprintln!("--csv       render tables as CSV");
+    eprintln!("--json      write a machine-readable run report (metrics.json)");
+    eprintln!("--trace-out write the Chrome trace_event timeline JSON");
+    eprintln!("--workload  perf: workload to sample (compile, storm; default compile)");
+    eprintln!("--period    perf: sampling period in cycles (default 4096)");
+    eprintln!("--config    perf record: kernel preset to sample (unopt, opt; default opt)");
+    eprintln!("--out       perf record: output path (default perf.data)");
+    eprintln!("--in        perf report/annotate: read an existing perf.data");
+    eprintln!("--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)");
+    eprintln!("--limit     diff: ranked rows to render (default 25)");
+    eprintln!(
+        "--jobs      matrix: cells to run concurrently (default 1; output is byte-identical)"
+    );
+    eprintln!("--seed      chaos: first fuzzer seed (default 1)");
+    eprintln!("--runs      chaos: number of consecutive seeds to run (default 1)");
+    eprintln!("--steps     chaos: fuzzed operations per run (default 400)");
+    eprintln!("--check     chaos: shadow-MM oracle + invariants on|off (default on)");
+    eprintln!("--verbose-from  chaos: print every op from this step on (repro aid)");
 }
 
 /// Everything a run accumulates for the `--json` / `--trace-out` artifacts.
@@ -369,7 +477,11 @@ impl RunOutput {
         for (i, t) in self.tables.iter().enumerate() {
             s.push_str("    ");
             s.push_str(&t.render_json());
-            s.push_str(if i + 1 < self.tables.len() { ",\n" } else { "\n" });
+            s.push_str(if i + 1 < self.tables.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         s.push_str("  ]\n}\n");
         s
@@ -443,6 +555,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "pmu" => emit(&ex::exp_pmu(depth).1, style, out),
         "ematrix" => emit(&ex::exp_matrix(depth).1, style, out),
         "etune" => emit(&ex::exp_tune(depth).1, style, out),
+        "echeck" => emit(&ex::exp_check(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

@@ -51,7 +51,37 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--config",
     "--limit",
     "--jobs",
+    "--seed",
+    "--runs",
+    "--steps",
+    "--verbose-from",
+    "--check",
 ];
+
+/// Flags that stand alone (no value argument).
+pub const BARE_FLAGS: &[&str] = &["--full", "--markdown", "--csv"];
+
+/// Any `--flag` the harness does not know about. A typo'd flag must be an
+/// error, not a silently ignored no-op — `--dpeth full` running the quick
+/// depth cost real debugging time once.
+pub fn unknown_flags(args: &[String]) -> Vec<&str> {
+    let mut skip = false;
+    let mut out = Vec::new();
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") && !BARE_FLAGS.contains(&a.as_str()) {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
 
 /// The positional (non-flag) arguments, with value-flag payloads removed.
 pub fn positional_args(args: &[String]) -> Vec<&str> {
@@ -156,6 +186,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "etune",
         "E-TUNE: PMU-guided tuned config beats static opt on the fault storm",
     ),
+    (
+        "echeck",
+        "E-CHECK: chaos fuzzing survives the shadow-MM oracle and invariants",
+    ),
 ];
 
 #[cfg(test)]
@@ -204,6 +238,22 @@ mod tests {
             Some("trace.json")
         );
         assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn unknown_flags_are_reported_not_swallowed() {
+        let args: Vec<String> = ["trace", "--json", "m.json", "--dpeth", "full", "--markdown"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(unknown_flags(&args), vec!["--dpeth"]);
+        // "full" after the unknown flag is NOT skipped: it stays positional,
+        // which is also wrong — hence the hard error in the binary.
+        let clean: Vec<String> = ["bench", "--json", "b.json", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(unknown_flags(&clean).is_empty());
     }
 
     #[test]

@@ -39,7 +39,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Self { bytes: text.as_bytes(), pos: 0 }
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, what: &str) -> String {
@@ -142,11 +145,7 @@ impl<'a> Parser<'a> {
         if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
         }
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|c| c.is_ascii_digit())
-        {
+        while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
             self.pos += 1;
         }
         if self.bytes.get(self.pos) == Some(&b'.') {
@@ -175,6 +174,12 @@ pub struct FlatReport {
     /// `config` header (the one identity field a diff may legitimately
     /// cross).
     pub config: String,
+    /// `check` header ("" when absent). Artifacts recorded with the runtime
+    /// checker on carry `"check": "on"`; checked and unchecked runs are
+    /// cycle-identical by construction, but the header still refuses the
+    /// diff — a disagreement here means one run was *observed* differently,
+    /// and any delta should be re-recorded under one observer setting.
+    pub check: String,
     /// Every numeric leaf: dotted path → value.
     pub numbers: BTreeMap<String, i64>,
 }
@@ -190,6 +195,7 @@ fn flatten(prefix: &str, v: &Json, out: &mut FlatReport) {
             "machine" => out.machine = s.clone(),
             "workload" => out.workload = s.clone(),
             "config" => out.config = s.clone(),
+            "check" => out.check = s.clone(),
             _ => {}
         },
         Json::Arr(items) => {
@@ -270,14 +276,17 @@ pub fn check_identity(axes: &[(&str, &str, &str)]) -> Result<(), String> {
 
 /// Diffs two reports, refusing incompatible cells.
 ///
-/// The identity headers (`schema`, `depth`, `machine`, `workload`) must
-/// match exactly; `config` may differ — that is the before/after use case.
+/// The identity headers (`schema`, `depth`, `machine`, `workload`,
+/// `check`) must match exactly; `config` may differ — that is the
+/// before/after use case. Pre-checker artifacts carry no `check` header and
+/// flatten to `""`, so they stay diffable against each other.
 pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String> {
     check_identity(&[
         ("schema", &a.schema, &b.schema),
         ("depth", &a.depth, &b.depth),
         ("machine", &a.machine, &b.machine),
         ("workload", &a.workload, &b.workload),
+        ("check", &a.check, &b.check),
     ])?;
     let mut keys: Vec<&String> = a.numbers.keys().chain(b.numbers.keys()).collect();
     keys.sort();
@@ -287,7 +296,12 @@ pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String
         .map(|k| {
             let av = a.numbers.get(k).copied().unwrap_or(0);
             let bv = b.numbers.get(k).copied().unwrap_or(0);
-            DiffEntry { key: k.clone(), a: av, b: bv, delta: bv - av }
+            DiffEntry {
+                key: k.clone(),
+                a: av,
+                b: bv,
+                delta: bv - av,
+            }
         })
         .collect();
     Ok(ReportDiff {
@@ -355,7 +369,10 @@ impl ReportDiff {
         );
         for e in ranked.iter().take(limit) {
             let rel = if e.a != 0 {
-                format!("{:+.1}%", 100.0 * e.delta as f64 / e.a.unsigned_abs() as f64)
+                format!(
+                    "{:+.1}%",
+                    100.0 * e.delta as f64 / e.a.unsigned_abs() as f64
+                )
             } else {
                 "new".into()
             };
@@ -427,7 +444,10 @@ pub fn diff_perf(a: &PerfData, b: &PerfData) -> Result<PerfDiff, String> {
             .into_iter()
             .map(|(n, (wa, wb, ea, eb))| (n, wa, wb, ea, eb))
             .collect(),
-        folded: folded.into_iter().map(|(k, (wa, wb))| (k, wa, wb)).collect(),
+        folded: folded
+            .into_iter()
+            .map(|(k, (wa, wb))| (k, wa, wb))
+            .collect(),
     })
 }
 
@@ -509,10 +529,7 @@ impl PerfDiff {
             self.total_weight.0,
             self.total_weight.1,
             self.weight_delta(),
-            self.folded
-                .iter()
-                .filter(|(_, wa, wb)| wa != wb)
-                .count(),
+            self.folded.iter().filter(|(_, wa, wb)| wa != wb).count(),
         )
     }
 }
@@ -579,6 +596,35 @@ mod tests {
         let mut d = a.clone();
         d.config = "other".into();
         assert!(diff_reports(&a, &d).is_ok());
+    }
+
+    #[test]
+    fn check_header_mismatch_is_refused() {
+        // An artifact recorded under the runtime checker declares it; a
+        // checked run must not be diffed against an unchecked one.
+        let a = parse_report(&doc("opt", 100, 5)).unwrap();
+        let mut b = a.clone();
+        b.check = "on".into();
+        let err = diff_reports(&a, &b).unwrap_err();
+        assert!(err.contains("check mismatch"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        // Symmetric: A checked, B not.
+        let err = diff_reports(&b, &a).unwrap_err();
+        assert!(err.contains("check mismatch"), "{err}");
+        // Both checked (or both unchecked) diff fine.
+        let c = b.clone();
+        assert!(diff_reports(&b, &c).is_ok());
+        assert!(diff_reports(&a, &a.clone()).is_ok());
+    }
+
+    #[test]
+    fn check_header_parses_and_old_artifacts_default_to_empty() {
+        let with = "{\"schema\": \"mmu-tricks-bench-v1\", \"check\": \"on\", \"n\": 1}";
+        let r = parse_report(with).unwrap();
+        assert_eq!(r.check, "on");
+        // Pre-checker artifacts (BENCH_PR3/4/5.json) have no header at all.
+        let without = parse_report(&doc("opt", 1, 1)).unwrap();
+        assert_eq!(without.check, "");
     }
 
     #[test]

@@ -24,10 +24,12 @@
 //! | E-PMU | [`pmu::exp_pmu`] |
 //! | E-MATRIX | [`ematrix::exp_matrix`] |
 //! | E-TUNE | [`etune::exp_tune`] |
+//! | E-CHECK | [`echeck::exp_check`] |
 
 pub mod ablate;
 pub mod artifacts;
 pub mod cache;
+pub mod echeck;
 pub mod ematrix;
 pub mod etune;
 pub mod extended;
@@ -45,6 +47,7 @@ pub use ablate::{
 };
 pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
+pub use echeck::{exp_check, CheckGateResult};
 pub use ematrix::{exp_matrix, MatrixResult, OptimizationRow};
 pub use etune::{exp_tune, TuneGateResult};
 pub use extended::extended_suite;

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod bench;
+pub mod chaos;
 pub mod diff;
 pub mod experiments;
 pub mod matrix;

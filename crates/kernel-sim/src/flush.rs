@@ -53,6 +53,11 @@ impl Kernel {
         let insns = self.paths.flush_per_page;
         self.run_kernel_path(crate::layout::KernelPath::Mm, insns);
         let page_index = ea.page_index();
+        // Legality ends here, whether or not a hash table is in use.
+        if self.check.is_some() {
+            let vsid = self.user_vsid(idx, ea);
+            self.check_note_flush_page(vsid, page_index);
+        }
         if self.uses_htab() {
             let vsid = self.user_vsid(idx, ea);
             let cached = self.cfg.htab_cached;
@@ -83,20 +88,31 @@ impl Kernel {
         self.stats.context_bumps += 1;
         self.t_event(|| TraceEvent::ContextBump);
         self.t_enter(Subsystem::Flush);
+        // The oracle retires the context's legality up front, covering both
+        // branches — and, crucially, *before* the deliberate-bug guard below:
+        // when the bug is armed the kernel skips the VSID bump but the oracle
+        // still retires, so the very next access through a stale entry trips
+        // the checker.
+        {
+            let old = self.tasks[idx].vsids;
+            self.check_note_retire(&old);
+        }
         if self.cfg.lazy_flush {
             // Fresh zombies exist: allow the idle reclaim one full sweep.
             self.reclaim_scan_credit = self.htab.hash().num_groups();
-            let old = self.tasks[idx].vsids;
-            self.vsids.retire(&old);
-            let pid = self.tasks[idx].pid;
-            self.tasks[idx].vsids = self.vsids.alloc_context(pid);
-            // Reload the segment registers if this is the running task.
-            if self.current == Some(idx) {
-                let vsids = self.tasks[idx].vsids;
-                for (sr, v) in vsids.iter().enumerate() {
-                    self.machine.mmu.segments.set(sr, *v);
+            if !self.buggy_skip_vsid_flush {
+                let old = self.tasks[idx].vsids;
+                self.vsids.retire(&old);
+                let pid = self.tasks[idx].pid;
+                self.tasks[idx].vsids = self.vsids.alloc_context(pid);
+                // Reload the segment registers if this is the running task.
+                if self.current == Some(idx) {
+                    let vsids = self.tasks[idx].vsids;
+                    for (sr, v) in vsids.iter().enumerate() {
+                        self.machine.mmu.segments.set(sr, *v);
+                    }
+                    self.machine.charge(16 + 3);
                 }
-                self.machine.charge(16 + 3);
             }
             // The increment of the context counter itself.
             self.machine.charge(8);

@@ -33,27 +33,61 @@ pub struct FaultInjection {
     /// Probability (over 2^16) that a hash-table lookup during TLB reload
     /// is forced to miss.
     pub tlb_fault_per_64k: u16,
+    /// Probability (over 2^16) that a hash-table rehash is chased by an
+    /// extra full TLB flush mid-operation (adversarial timing inside
+    /// `apply_retune`'s resize).
+    pub rehash_flush_per_64k: u16,
+    /// Probability (over 2^16) that an mmtune retune is followed by a
+    /// forced zombie-reclaim sweep (stressing retune/reclaim interleaving).
+    pub retune_sweep_per_64k: u16,
+    /// Probability (over 2^16) that a fatal-signal unwind flushes the dying
+    /// context *early*, before teardown flushes it again (double-retire
+    /// adversity).
+    pub unwind_flush_per_64k: u16,
 }
 
 impl FaultInjection {
     /// Mild background adversity: roughly 1 in 64 allocations, inserts and
-    /// lookups fault.
+    /// lookups fault. The chaos-only families stay off so pre-existing
+    /// baselines keep their exact decision stream.
     pub fn light(seed: u64) -> Self {
         Self {
             seed,
             alloc_fail_per_64k: 1024,
             htab_overflow_per_64k: 1024,
             tlb_fault_per_64k: 1024,
+            rehash_flush_per_64k: 0,
+            retune_sweep_per_64k: 0,
+            unwind_flush_per_64k: 0,
         }
     }
 
-    /// Heavy adversity: roughly 1 in 8 decisions fault.
+    /// Heavy adversity: roughly 1 in 8 decisions fault (chaos-only families
+    /// off, as in [`FaultInjection::light`]).
     pub fn heavy(seed: u64) -> Self {
         Self {
             seed,
             alloc_fail_per_64k: 8192,
             htab_overflow_per_64k: 8192,
             tlb_fault_per_64k: 8192,
+            rehash_flush_per_64k: 0,
+            retune_sweep_per_64k: 0,
+            unwind_flush_per_64k: 0,
+        }
+    }
+
+    /// Full-spectrum adversity for `repro chaos`: every family armed,
+    /// including the mutation-site families inside rehash, retune, and
+    /// fatal-signal unwind.
+    pub fn chaotic(seed: u64) -> Self {
+        Self {
+            seed,
+            alloc_fail_per_64k: 4096,
+            htab_overflow_per_64k: 4096,
+            tlb_fault_per_64k: 4096,
+            rehash_flush_per_64k: 16384,
+            retune_sweep_per_64k: 16384,
+            unwind_flush_per_64k: 8192,
         }
     }
 }
@@ -110,6 +144,38 @@ impl FaultInjector {
         let rate = self.cfg.tlb_fault_per_64k;
         self.roll(rate)
     }
+
+    // The chaos-only families below must NOT advance the stream when their
+    // rate is zero: pre-existing baselines (light/heavy presets) never
+    // rolled at these sites, and consuming randomness here would shift every
+    // later decision and shatter bit-identity with recorded artifacts.
+
+    /// Should this hash-table rehash be chased by an extra TLB flush?
+    pub fn roll_rehash_flush(&mut self) -> bool {
+        let rate = self.cfg.rehash_flush_per_64k;
+        if rate == 0 {
+            return false;
+        }
+        self.roll(rate)
+    }
+
+    /// Should this retune be followed by a forced reclaim sweep?
+    pub fn roll_retune_sweep(&mut self) -> bool {
+        let rate = self.cfg.retune_sweep_per_64k;
+        if rate == 0 {
+            return false;
+        }
+        self.roll(rate)
+    }
+
+    /// Should this fatal-signal unwind flush the dying context early?
+    pub fn roll_unwind_flush(&mut self) -> bool {
+        let rate = self.cfg.unwind_flush_per_64k;
+        if rate == 0 {
+            return false;
+        }
+        self.roll(rate)
+    }
 }
 
 #[cfg(test)]
@@ -143,11 +209,45 @@ mod tests {
             alloc_fail_per_64k: 16384, // 1 in 4
             htab_overflow_per_64k: 0,
             tlb_fault_per_64k: 65535,
+            rehash_flush_per_64k: 0,
+            retune_sweep_per_64k: 0,
+            unwind_flush_per_64k: 0,
         });
         let n = 100_000;
         let hits = (0..n).filter(|_| i.roll_alloc_fail()).count();
         assert!((n / 5..n / 3).contains(&hits), "got {hits}/{n}");
-        assert!(!(0..1000).any(|_| i.roll_htab_overflow()), "rate 0 never fires");
-        assert!((0..1000).all(|_| i.roll_tlb_fault()), "rate 65535 ~always fires");
+        assert!(
+            !(0..1000).any(|_| i.roll_htab_overflow()),
+            "rate 0 never fires"
+        );
+        assert!(
+            (0..1000).all(|_| i.roll_tlb_fault()),
+            "rate 65535 ~always fires"
+        );
+    }
+
+    #[test]
+    fn chaos_families_at_zero_rate_are_stream_neutral() {
+        // A light-preset injector interleaved with disarmed chaos rolls must
+        // produce the same decision stream as one that never rolls them —
+        // otherwise adding the new sites would shift old baselines.
+        let mut a = FaultInjector::new(FaultInjection::light(42));
+        let mut b = FaultInjector::new(FaultInjection::light(42));
+        for _ in 0..10_000 {
+            assert!(!a.roll_rehash_flush());
+            assert!(!a.roll_retune_sweep());
+            assert!(!a.roll_unwind_flush());
+            assert_eq!(a.roll_alloc_fail(), b.roll_alloc_fail());
+            assert_eq!(a.roll_tlb_fault(), b.roll_tlb_fault());
+        }
+    }
+
+    #[test]
+    fn chaotic_preset_arms_every_family() {
+        let mut i = FaultInjector::new(FaultInjection::chaotic(3));
+        let n = 10_000;
+        assert!((0..n).filter(|_| i.roll_rehash_flush()).count() > 0);
+        assert!((0..n).filter(|_| i.roll_retune_sweep()).count() > 0);
+        assert!((0..n).filter(|_| i.roll_unwind_flush()).count() > 0);
     }
 }

@@ -72,7 +72,11 @@ impl PmuConfig {
             freeze_problem: self.freeze_problem,
             enint: sampling,
             threshold: self.threshold,
-            pmc1: if sampling { PmcEvent::Cycles } else { self.pmc1 },
+            pmc1: if sampling {
+                PmcEvent::Cycles
+            } else {
+                self.pmc1
+            },
             pmc2: self.pmc2,
         }
     }
@@ -235,6 +239,16 @@ pub struct KernelConfig {
     /// kernels. Deliberately excluded from [`KernelConfig::summary`]: a
     /// tuned run and its static baseline measure the same workload axes.
     pub mmtune: Option<crate::tune::MmtuneConfig>,
+    /// Runtime MM consistency checking ([`crate::check`]): the shadow
+    /// translation oracle plus ported SchedInv/MMInv invariants, evaluated
+    /// at span transitions. Purely observational and host-side: a checked
+    /// run charges exactly the same cycles and counts exactly the same
+    /// [`crate::KernelStats`] as an unchecked one; `None` carries no checker
+    /// and the hook is a single branch. Excluded from
+    /// [`KernelConfig::summary`] for the same reason as `mmtune`: artifacts
+    /// produced under checking carry their own `check` header instead, and
+    /// the differ refuses to compare across it.
+    pub check: Option<crate::check::CheckConfig>,
 }
 
 impl KernelConfig {
@@ -264,6 +278,7 @@ impl KernelConfig {
             pmu: None,
             telemetry: None,
             mmtune: None,
+            check: None,
         }
     }
 
@@ -291,6 +306,7 @@ impl KernelConfig {
             pmu: None,
             telemetry: None,
             mmtune: None,
+            check: None,
         }
     }
 
@@ -407,7 +423,10 @@ mod tests {
         let o = KernelConfig::optimized().summary();
         assert_eq!(u, KernelConfig::unoptimized().summary());
         assert_ne!(u, o);
-        assert!(u.contains("handler=slow_c") && u.contains("vsid=pid*16"), "{u}");
+        assert!(
+            u.contains("handler=slow_c") && u.contains("vsid=pid*16"),
+            "{u}"
+        );
         assert!(o.contains("cutoff=20") && o.contains("vsid=ctx*897"), "{o}");
         // Every toggle appears exactly once, space-separated key=value.
         for part in o.split(' ') {

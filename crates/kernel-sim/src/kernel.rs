@@ -196,6 +196,22 @@ pub struct Kernel {
     /// scatter constant, and every cycle of that work is charged to
     /// [`Subsystem::Mmtune`].
     pub mmtune: Option<Box<Mmtune>>,
+    /// The runtime MM consistency checker, when [`KernelConfig::check`] is
+    /// set: shadow translation oracle + ported SchedInv/MMInv invariants
+    /// ([`crate::check`]). Observational like the tracer — charges nothing,
+    /// counts nothing in [`KernelStats`] — but *panics* with a repro line on
+    /// any violation.
+    pub check: Option<Box<crate::check::CheckState>>,
+    /// Depth of in-flight scheduler mutations (context switch / teardown):
+    /// the checker suspends its SchedInv clauses while nonzero. Maintained
+    /// unconditionally (integer bookkeeping, no cycles).
+    pub(crate) sched_mutation_depth: u32,
+    /// Deliberately skip the VSID bump in lazy context flushes — the seeded
+    /// stale-TLB bug the shadow oracle exists to catch. Latched at boot from
+    /// the `MMU_TRICKS_BUG_STALE_TLB` environment variable (or
+    /// [`Kernel::set_buggy_skip_vsid_flush`]); never set in production
+    /// configurations.
+    pub(crate) buggy_skip_vsid_flush: bool,
 }
 
 impl Kernel {
@@ -280,10 +296,22 @@ impl Kernel {
             },
             pmu: cfg.pmu.map(|pc| Box::new(PmuState::new(pc))),
             telemetry: cfg.telemetry.map(|tc| Box::new(Telemetry::new(tc))),
-            mmtune: cfg
-                .mmtune
-                .map(|mc| Box::new(Mmtune::new(mc, cfg.use_bats))),
+            mmtune: cfg.mmtune.map(|mc| Box::new(Mmtune::new(mc, cfg.use_bats))),
+            check: cfg
+                .check
+                .map(|cc| Box::new(crate::check::CheckState::new(cc))),
+            sched_mutation_depth: 0,
+            buggy_skip_vsid_flush: std::env::var_os("MMU_TRICKS_BUG_STALE_TLB").is_some(),
         }
+    }
+
+    /// Enables (or disables) the deliberate stale-TLB bug — the lazy
+    /// context flush stops bumping VSIDs, leaving stale translations
+    /// matchable. Exists so tests and the chaos gate can prove the shadow
+    /// oracle catches it; the environment-variable latch
+    /// (`MMU_TRICKS_BUG_STALE_TLB`) does the same for whole processes.
+    pub fn set_buggy_skip_vsid_flush(&mut self, on: bool) {
+        self.buggy_skip_vsid_flush = on;
     }
 
     /// Boots with a non-standard hash-table size (in PTEGs). The paper keeps
@@ -344,6 +372,8 @@ impl Kernel {
         // bracketed by its own [`Subsystem::Mmtune`] span and never lands
         // inside the span that is about to start.
         self.tune_poll();
+        // Check last: invariants are evaluated over post-retune state.
+        self.check_poll();
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(s, now);
@@ -369,6 +399,7 @@ impl Kernel {
         // Tune *after* the span closes so the retune charge is attributed
         // to [`Subsystem::Mmtune`], not the subsystem that just exited.
         self.tune_poll();
+        self.check_poll();
     }
 
     /// Closes the innermost span and records `now - t0` as a latency sample
@@ -399,6 +430,7 @@ impl Kernel {
         }
         // Tune last: the latency sample above stays clean of retune cost.
         self.tune_poll();
+        self.check_poll();
     }
 
     /// Synchronises the PMU with the machine counters and services a
@@ -453,7 +485,10 @@ impl Kernel {
             p.record(cycle, pid, supervisor, weight);
         }
         self.stats.pmu_interrupts += 1;
-        let sub = self.pmu.as_ref().map_or(Subsystem::User, |p| p.current_subsystem());
+        let sub = self
+            .pmu
+            .as_ref()
+            .map_or(Subsystem::User, |p| p.current_subsystem());
         self.t_event(|| TraceEvent::PmuSample {
             sub,
             weight: weight.min(u64::from(u32::MAX)) as u32,
@@ -512,8 +547,7 @@ impl Kernel {
         let live = |v| self.vsids.is_live(v);
         let kernel = self.machine.mmu.itlb.entries_matching(is_kernel_vsid)
             + self.machine.mmu.dtlb.entries_matching(is_kernel_vsid);
-        let total =
-            self.machine.mmu.itlb.valid_entries() + self.machine.mmu.dtlb.valid_entries();
+        let total = self.machine.mmu.itlb.valid_entries() + self.machine.mmu.dtlb.valid_entries();
         MmuReadings {
             htab_valid: self.htab.valid_entries(),
             htab_live: self.htab.live_entries(live),
@@ -558,6 +592,12 @@ impl Kernel {
 
     /// The epoch evaluation slow path: snapshot the inputs, ask the
     /// controller, and apply (and charge) at most one knob move.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics with `MM invariant violated at mmtune epoch
+    /// boundary` if a retune corrupted scheduler or VSID state — a
+    /// simulator-internal invariant, never reachable from workload input.
     fn tune_epoch(&mut self, now: Cycles) {
         // Take the controller out while working: retune work re-enters the
         // span hooks (reclaim sweeps, charged reads), and a taken-out
@@ -580,6 +620,19 @@ impl Kernel {
             self.apply_retune(&mut m, action);
         }
         self.mmtune = Some(m);
+        // Epoch boundaries re-verify the ported invariants *always* — even
+        // with [`KernelConfig::check`] off — in debug builds (free in
+        // release). A retune that corrupts scheduler or VSID state is
+        // caught here by every tier-1 test run, not only under `repro
+        // chaos`.
+        #[cfg(debug_assertions)]
+        {
+            let mut generation = 0;
+            if let Some(v) = self.invariant_violation(&mut generation) {
+                let cfg = self.cfg.summary();
+                panic!("MM invariant violated at mmtune epoch boundary: {v}\n  config: {cfg}");
+            }
+        }
     }
 
     /// Applies one retune decision, charging its cost to
@@ -626,10 +679,23 @@ impl Kernel {
                 // over the (new) table.
                 self.reclaim_scan_credit = self.reclaim_scan_credit.min(to);
                 self.stats.mmtune_htab_resizes += 1;
+                // Chaos site: an adversarial full TLB flush chasing the
+                // rehash — every resident translation must be reloadable
+                // from the post-resize table.
+                if self.roll_injected_rehash_flush() {
+                    self.machine.mmu.flush_tlbs();
+                    self.machine.charge(32);
+                }
                 (TuneKnob::HtabSize, from, to)
             }
         };
         self.stats.mmtune_retunes += 1;
+        // Chaos site: a forced zombie-reclaim sweep racing the retune —
+        // liveness checks must agree with whatever the retune just changed.
+        if self.roll_injected_retune_sweep() {
+            let cached = self.cfg.htab_cached;
+            self.reclaim_chunk(32, cached);
+        }
         let now = self.machine.cycles;
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
@@ -679,15 +745,25 @@ impl Kernel {
     ///
     /// Panics if translation does not converge — a successfully serviced
     /// fault or reload must make the retry hit (simulator invariant).
-    pub fn translate_ref(&mut self, ea: EffectiveAddress, at: AccessType) -> KResult<(PhysAddr, bool)> {
+    pub fn translate_ref(
+        &mut self,
+        ea: EffectiveAddress,
+        at: AccessType,
+    ) -> KResult<(PhysAddr, bool)> {
         for _ in 0..8 {
             match self.machine.mmu.translate(ea, at) {
-                Translation::Bat { pa, cached } => return Ok((pa, cached)),
+                Translation::Bat { pa, cached } => {
+                    self.check_on_bat_hit(ea, pa, cached);
+                    return Ok((pa, cached));
+                }
                 Translation::TlbHit {
                     pa,
                     cached,
                     writable,
                 } => {
+                    // The hit itself is the observation the oracle audits —
+                    // checked even when it is about to protection-fault.
+                    self.check_on_tlb_hit(ea, at, pa, cached, writable);
                     if at == AccessType::DataWrite && !writable {
                         // Store through a read-only translation: the
                         // protection fault that drives copy-on-write.
@@ -926,8 +1002,16 @@ impl Kernel {
     /// is charged through the data cache (or uncached, per §8's experiment).
     fn htab_lookup_reload(&mut self, va: VirtualAddress, at: AccessType) -> bool {
         if self.roll_injected_tlb_fault() {
-            // Injected reload fault: the lookup is forced to miss, so the
-            // reload falls back to the full Linux page-table walk.
+            // Injected reload fault: the entry is *lost* — physically
+            // invalidated, not merely overlooked — so the Linux-PT reinstall
+            // that follows cannot create a duplicate hash-table entry for
+            // the same (vsid, page). (A duplicate would outlive the next
+            // per-page flush, which clears only the copy it finds: exactly
+            // the stale-translation hazard the shadow oracle exists to
+            // catch, and how it was first caught.) No cycles are charged:
+            // uninjected runs are untouched, and within injected runs the
+            // fault is the adversity, not a cost model.
+            self.htab.invalidate_with(va.vsid, va.page_index, |_| {});
             self.stats.htab_misses += 1;
             return false;
         }
@@ -940,6 +1024,7 @@ impl Kernel {
         machine.charge(probe_cycles);
         match out.pte {
             Some(pte) => {
+                self.check_on_htab_hit(va, &pte);
                 self.machine.mmu.reload(
                     at,
                     ppc_mmu::tlb::TlbEntry {
@@ -1086,6 +1171,10 @@ impl Kernel {
         at: AccessType,
         insert_htab: bool,
     ) -> bool {
+        // Legality begins now, before the physical insert: the hash-table
+        // span below ends with a span transition, and a heavy sweep landing
+        // on it must already find the new entry legal.
+        self.check_note_install(va, pfn, cached, writable);
         // An injected overflow behaves as if both candidate PTEGs were full:
         // the translation reaches the TLB but not the hash table, so the
         // next miss on it re-walks the Linux page tables.
@@ -1170,7 +1259,10 @@ impl Kernel {
 
     /// Rolls the injector for a hash-table insertion overflow; counts a hit.
     pub(crate) fn roll_injected_htab_overflow(&mut self) -> bool {
-        let hit = self.injector.as_mut().is_some_and(|i| i.roll_htab_overflow());
+        let hit = self
+            .injector
+            .as_mut()
+            .is_some_and(|i| i.roll_htab_overflow());
         if hit {
             self.stats.injected_faults += 1;
         }
@@ -1180,6 +1272,43 @@ impl Kernel {
     /// Rolls the injector for a forced TLB-reload miss; counts a hit.
     pub(crate) fn roll_injected_tlb_fault(&mut self) -> bool {
         let hit = self.injector.as_mut().is_some_and(|i| i.roll_tlb_fault());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
+    }
+
+    /// Rolls the injector for a post-rehash TLB flush; counts a hit.
+    pub(crate) fn roll_injected_rehash_flush(&mut self) -> bool {
+        let hit = self
+            .injector
+            .as_mut()
+            .is_some_and(|i| i.roll_rehash_flush());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
+    }
+
+    /// Rolls the injector for a post-retune reclaim sweep; counts a hit.
+    pub(crate) fn roll_injected_retune_sweep(&mut self) -> bool {
+        let hit = self
+            .injector
+            .as_mut()
+            .is_some_and(|i| i.roll_retune_sweep());
+        if hit {
+            self.stats.injected_faults += 1;
+        }
+        hit
+    }
+
+    /// Rolls the injector for an early unwind-time context flush; counts a
+    /// hit.
+    pub(crate) fn roll_injected_unwind_flush(&mut self) -> bool {
+        let hit = self
+            .injector
+            .as_mut()
+            .is_some_and(|i| i.roll_unwind_flush());
         if hit {
             self.stats.injected_faults += 1;
         }

@@ -43,6 +43,7 @@
 //! assert!(k.machine.cycles > 0);
 //! ```
 
+pub mod check;
 pub mod errors;
 pub mod fault;
 pub mod flush;
@@ -53,6 +54,7 @@ pub mod kconfig;
 pub mod kernel;
 pub mod layout;
 pub mod linuxpt;
+pub mod oracle;
 pub mod os_model;
 pub mod physmem;
 pub mod pipe;
@@ -68,6 +70,8 @@ pub mod telemetry;
 #[cfg(test)]
 mod tests;
 #[cfg(test)]
+mod tests_check;
+#[cfg(test)]
 mod tests_edge;
 #[cfg(test)]
 mod tests_pmu;
@@ -79,10 +83,12 @@ pub mod trace;
 pub mod tune;
 pub mod vsid;
 
+pub use check::{CheckConfig, CheckState};
 pub use errors::{KResult, KernelError, Signal};
 pub use inject::{FaultInjection, FaultInjector};
 pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, PmuConfig, VsidPolicy};
 pub use kernel::Kernel;
+pub use oracle::{ShadowEntry, ShadowMm};
 pub use os_model::OsModel;
 pub use pmu::{PmuSample, PmuState};
 pub use prof::{Profiler, Subsystem};

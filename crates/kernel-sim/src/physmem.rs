@@ -196,6 +196,12 @@ impl FrameAllocator {
     pub fn precleared_frames(&self) -> usize {
         self.precleared.len()
     }
+
+    /// Page-table pages currently free (the chaos driver's leak gate checks
+    /// this returns to its boot value once every task is torn down).
+    pub fn pt_free_pages(&self) -> usize {
+        self.pt_free.len()
+    }
 }
 
 impl Default for FrameAllocator {

@@ -84,6 +84,10 @@ impl Kernel {
         let to_pid = self.tasks[to].pid;
         self.t_event(|| TraceEvent::CtxSwitch { to: to_pid });
         self.t_enter(Subsystem::Sched);
+        // The switch body transiently violates SchedInv (the outgoing task
+        // is pushed onto the queue while still `current`); bracket it so the
+        // checker treats it as one atomic step, as the TLA model does.
+        self.check_sched_enter();
         // The chosen task leaves the ready queue while it runs; the
         // displaced task goes back on it if still runnable.
         self.run_queue.retain(|&i| i != to);
@@ -123,6 +127,7 @@ impl Kernel {
         self.machine.charge(16 + 3); // 12 mtsr + isync, rounded as the paper's code does
         self.current = Some(to);
         self.stats.ctx_switches += 1;
+        self.check_sched_exit();
         self.t_exit();
     }
 
@@ -176,6 +181,10 @@ impl Kernel {
     /// its page-cache mapping pins, and — when it was the current task —
     /// switches to the next runnable one.
     pub(crate) fn teardown_task(&mut self, idx: usize) {
+        // Teardown marks the task Dead before pulling it off the run queue
+        // and releases frames across span transitions; suspend the scheduler
+        // invariants until the whole step completes.
+        self.check_sched_enter();
         // Address-space teardown flush: the lazy kernel retires the context
         // in O(1); the eager kernel walks every VMA flushing page by page
         // (`tlbie` collateral included).
@@ -246,5 +255,6 @@ impl Kernel {
                 self.context_switch(next);
             }
         }
+        self.check_sched_exit();
     }
 }

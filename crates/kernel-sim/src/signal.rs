@@ -100,6 +100,12 @@ impl Kernel {
         for w in 0..SIGFRAME_WORDS {
             self.kdata_ref(stack + w * 4, true);
         }
+        // Chaos site: an injected early context flush during the unwind,
+        // before teardown re-flushes. Double-retiring a context must be
+        // safe — the oracle and invariants verify it actually is.
+        if self.roll_injected_unwind_flush() {
+            self.flush_context(cur);
+        }
         self.teardown_task(cur);
         self.machine.charge(self.machine.cfg.costs.exception_exit);
         KernelError::Fatal { signal, ea }

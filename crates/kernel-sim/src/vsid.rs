@@ -115,8 +115,9 @@ impl VsidAllocator {
     pub fn set_scatter_constant(&mut self, constant: u32) {
         assert!(constant != 0, "scatter constant must be nonzero");
         match &mut self.policy {
-            VsidPolicy::PidScatter { constant: c }
-            | VsidPolicy::ContextCounter { constant: c } => *c = constant,
+            VsidPolicy::PidScatter { constant: c } | VsidPolicy::ContextCounter { constant: c } => {
+                *c = constant
+            }
         }
     }
 
@@ -137,6 +138,14 @@ impl VsidAllocator {
     /// Number of live user VSIDs.
     pub fn live_count(&self) -> usize {
         self.live.len()
+    }
+
+    /// The next context number the allocator will hand out. Strictly
+    /// monotonic under [`VsidPolicy::ContextCounter`] — never reset, never
+    /// reused — which is the lazy-flush invariant the runtime checker
+    /// re-verifies at every span transition.
+    pub fn generation(&self) -> u32 {
+        self.next_ctx
     }
 }
 

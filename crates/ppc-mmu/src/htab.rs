@@ -438,6 +438,20 @@ impl HashTable {
             .collect()
     }
 
+    /// Every valid entry with its `(group, slot)` location, in table order.
+    /// Read-only: does not touch statistics, cursors or replacement state,
+    /// so a sweep over the entries is invisible to the table (the
+    /// consistency checker depends on this).
+    pub fn entries(&self) -> impl Iterator<Item = (u32, usize, Pte)> + '_ {
+        self.groups.iter().enumerate().flat_map(|(g, group)| {
+            group
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.valid)
+                .map(move |(s, p)| (g as u32, s, *p))
+        })
+    }
+
     /// Number of completely full PTEGs (inserts there must evict).
     pub fn full_groups(&self) -> u32 {
         self.groups

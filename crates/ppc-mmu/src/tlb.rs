@@ -266,6 +266,13 @@ impl Tlb {
             .filter(|s| s.entry.is_some_and(|e| pred(e.vsid)))
             .count() as u32
     }
+
+    /// Every valid entry, in set/way order. Read-only: does not touch LRU
+    /// state or statistics, so a sweep over the entries is invisible to the
+    /// replacement policy (the consistency checker depends on this).
+    pub fn entries(&self) -> impl Iterator<Item = TlbEntry> + '_ {
+        self.sets.iter().flatten().filter_map(|s| s.entry)
+    }
 }
 
 #[cfg(test)]

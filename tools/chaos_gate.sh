@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# CI gate for the adversarial checking subsystem (`check` + `repro chaos`):
+#
+# 1. Fixed-seed fleet: N seeds of checked chaos (oracle + invariants +
+#    full-spectrum injection) all run clean, and report nonzero oracle
+#    observations and injected faults (an idle checker gates nothing).
+# 2. Determinism: the same seed emits a byte-identical artifact twice, so
+#    any red run is a one-command repro.
+# 3. Zero-cost: the same seed with `--check off` reports the identical
+#    cycle count (observation must not perturb the measurement).
+# 4. Sensitivity: with the planted stale-TLB bug armed
+#    (MMU_TRICKS_BUG_STALE_TLB skips the VSID bump in flush_context), the
+#    oracle catches it within one run, names the staleness, and prints the
+#    seed/step/config repro block.
+# 5. CLI contract (the silent-exit-0 fix): no arguments, an unknown
+#    subcommand, and a typo'd --flag all print usage to stderr and exit
+#    nonzero; the chaos artifact carries the "check" header the diff
+#    refusal keys on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+fail=0
+SEEDS=20
+STEPS=300
+
+# --- 1. the fixed-seed fleet -------------------------------------------------
+if ! cargo run --release -p bench --bin repro -- chaos \
+        --seed 1 --runs "$SEEDS" --steps "$STEPS" \
+        --json "$out/chaos-a.json" > "$out/fleet.txt"; then
+    echo "FAIL: checked chaos fleet had a violation:" >&2
+    tail -5 "$out/fleet.txt" >&2 || true
+    fail=1
+fi
+clean=$(grep -c ': clean' "$out/fleet.txt" || true)
+if [ "$clean" -ne "$SEEDS" ]; then
+    echo "FAIL: expected $SEEDS clean chaos runs, got $clean" >&2
+    fail=1
+fi
+if grep -q 'oracle_obs=0 ' "$out/fleet.txt"; then
+    echo "FAIL: a chaos run saw zero oracle observations (checker idle)" >&2
+    fail=1
+fi
+if grep -q 'injected=0 ' "$out/fleet.txt"; then
+    echo "FAIL: a chaos run injected zero faults (injector idle)" >&2
+    fail=1
+fi
+
+# --- 2. same-seed determinism ------------------------------------------------
+cargo run --release -p bench --bin repro -- chaos \
+    --seed 1 --runs "$SEEDS" --steps "$STEPS" \
+    --json "$out/chaos-b.json" >/dev/null
+if ! cmp -s "$out/chaos-a.json" "$out/chaos-b.json"; then
+    echo "FAIL: two same-seed chaos fleets are not byte-identical" >&2
+    diff "$out/chaos-a.json" "$out/chaos-b.json" | head -5 >&2 || true
+    fail=1
+fi
+if ! grep -q '"check": "on"' "$out/chaos-a.json"; then
+    echo "FAIL: chaos artifact is missing the check header" >&2
+    fail=1
+fi
+
+# --- 3. check-off cycle identity ---------------------------------------------
+cargo run --release -p bench --bin repro -- chaos \
+    --seed 1 --steps "$STEPS" > "$out/on.txt"
+cargo run --release -p bench --bin repro -- chaos \
+    --seed 1 --steps "$STEPS" --check off > "$out/off.txt"
+cycles_on=$(sed -n 's/.*cycles=\([0-9]*\).*/\1/p' "$out/on.txt")
+cycles_off=$(sed -n 's/.*cycles=\([0-9]*\).*/\1/p' "$out/off.txt")
+if [ -z "$cycles_on" ] || [ "$cycles_on" != "$cycles_off" ]; then
+    echo "FAIL: checker is not zero-cost (on=$cycles_on off=$cycles_off)" >&2
+    fail=1
+fi
+
+# --- 4. the planted bug is caught --------------------------------------------
+if MMU_TRICKS_BUG_STALE_TLB=1 cargo run --release -p bench --bin repro -- \
+        chaos --seed 1 --steps "$STEPS" > "$out/bug.txt" 2>&1; then
+    echo "FAIL: the planted stale-TLB bug escaped the oracle" >&2
+    fail=1
+else
+    if ! grep -q 'MM check violation' "$out/bug.txt"; then
+        echo "FAIL: planted-bug run failed without an oracle violation:" >&2
+        tail -3 "$out/bug.txt" >&2
+        fail=1
+    fi
+    if ! grep -q 'stale' "$out/bug.txt"; then
+        echo "FAIL: planted-bug violation does not name the staleness" >&2
+        fail=1
+    fi
+    if ! grep -q 'repro: repro chaos --seed' "$out/bug.txt"; then
+        echo "FAIL: planted-bug violation has no one-command repro line" >&2
+        fail=1
+    fi
+fi
+
+# --- 5. CLI exit-code contract -----------------------------------------------
+run_repro() { cargo run -q --release -p bench --bin repro -- "$@"; }
+if run_repro > "$out/noargs.out" 2> "$out/noargs.err"; then
+    echo "FAIL: repro with no arguments exited 0" >&2
+    fail=1
+fi
+if [ -s "$out/noargs.out" ] || ! grep -q 'usage:' "$out/noargs.err"; then
+    echo "FAIL: repro with no arguments must print usage to stderr only" >&2
+    fail=1
+fi
+if run_repro no-such-subcommand >/dev/null 2> "$out/unknown.err"; then
+    echo "FAIL: repro with an unknown subcommand exited 0" >&2
+    fail=1
+fi
+if ! grep -q 'unknown experiment' "$out/unknown.err"; then
+    echo "FAIL: unknown subcommand error is not diagnostic" >&2
+    fail=1
+fi
+if run_repro bench --dpeth full >/dev/null 2> "$out/badflag.err"; then
+    echo "FAIL: repro with a typo'd flag exited 0" >&2
+    fail=1
+fi
+if ! grep -q -- '--dpeth' "$out/badflag.err"; then
+    echo "FAIL: typo'd-flag error does not name the flag" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "chaos gate OK: $clean/$SEEDS seeds clean, deterministic artifact, check-off cycle-identical, planted bug caught, CLI exit codes honest"

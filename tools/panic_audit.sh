@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 # Messages of documented invariant panics (extended regex, one per line).
-allow='translation for .* did not converge|unknown telemetry series'
+allow='translation for .* did not converge|unknown telemetry series|MM check violation|MM invariant violated at mmtune epoch boundary'
 
 offenders=$(
     for f in crates/kernel-sim/src/*.rs; do
