@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks for the host-profiler phase taxonomy's hot
+//! paths — the per-phase companions to `repro hostbench`'s whole-workload
+//! numbers. Group names match `kernel_sim::hostprof::HostPhase::name()`, so
+//! a hostbench phase table row and a criterion group here describe the same
+//! code.
+//!
+//! The `hook_overhead` group measures the profiler's own tax on the hottest
+//! hook site (`Machine::charge`): `dormant` is the price every ordinary run
+//! pays (one relaxed atomic load), `armed` is the price a hostbench run
+//! pays (span counting plus stride-sampled timing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use kernel_sim::hostprof;
+use kernel_sim::trace::{TraceEvent, TraceRecord, TraceRing};
+use ppc_cache::hierarchy::{MemSystem, MemSystemConfig};
+use ppc_machine::{Machine, MachineConfig};
+use ppc_mmu::addr::{EffectiveAddress, Vsid};
+use ppc_mmu::htab::HashTable;
+use ppc_mmu::pte::Pte;
+use ppc_mmu::tlb::TlbEntry;
+use ppc_mmu::translate::AccessType;
+
+fn pte(vsid: u32, pi: u32) -> Pte {
+    Pte {
+        valid: true,
+        vsid: Vsid::new(vsid),
+        secondary: false,
+        page_index: pi,
+        rpn: pi + 0x300,
+        referenced: false,
+        changed: false,
+        cache_inhibited: false,
+        pp: 2,
+    }
+}
+
+/// translate: the full `Mmu::translate` path (segments → BAT → TLB), the
+/// htab insert, and the htab rehash — the paths behind every memory
+/// reference and every reload.
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate");
+    g.bench_function("mmu_tlb_hit", |b| {
+        let mut m = Machine::new(MachineConfig::ppc604_133());
+        for pi in 0..64 {
+            m.mmu.reload(
+                AccessType::DataRead,
+                TlbEntry {
+                    vsid: Vsid::new(0),
+                    page_index: pi,
+                    rpn: pi,
+                    cached: true,
+                    writable: true,
+                },
+            );
+        }
+        let mut pi = 0u32;
+        b.iter(|| {
+            pi = (pi + 1) % 64;
+            black_box(
+                m.mmu
+                    .translate(EffectiveAddress(pi << 12), AccessType::DataRead),
+            )
+        });
+    });
+    g.bench_function("mmu_tlb_miss", |b| {
+        let mut m = Machine::new(MachineConfig::ppc604_133());
+        let mut pi = 0u32;
+        b.iter(|| {
+            pi = pi.wrapping_add(1) & 0xffff;
+            black_box(
+                m.mmu
+                    .translate(EffectiveAddress(pi << 12), AccessType::DataRead),
+            )
+        });
+    });
+    g.bench_function("htab_insert", |b| {
+        let mut h = HashTable::new(2048, 0);
+        let mut pi = 0u32;
+        b.iter(|| {
+            pi = pi.wrapping_add(1) & 0xffff;
+            black_box(h.insert(pte(3, pi)))
+        });
+    });
+    g.sample_size(20);
+    g.bench_function("htab_rehash_2048_4096", |b| {
+        let mut h = HashTable::new(2048, 0);
+        for pi in 0..4096 {
+            h.insert(pte(5, pi));
+        }
+        let mut up = true;
+        b.iter(|| {
+            let target = if up { 4096 } else { 2048 };
+            up = !up;
+            black_box(h.resize(target))
+        });
+    });
+    g.finish();
+}
+
+/// cache: the `MemSystem` read path, hit and miss — the single hottest
+/// phase in the hostbench profile.
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("data_read_hit", |b| {
+        let mut mem = MemSystem::new(MemSystemConfig::ppc604());
+        mem.data_read(0x4000, true);
+        b.iter(|| black_box(mem.data_read(0x4000, true)));
+    });
+    g.bench_function("data_read_streaming_miss", |b| {
+        let mut mem = MemSystem::new(MemSystemConfig::ppc604());
+        let mut pa = 0u32;
+        b.iter(|| {
+            // Stride past the line size so most accesses miss and evict.
+            pa = pa.wrapping_add(4096);
+            black_box(mem.data_read(pa, true))
+        });
+    });
+    g.finish();
+}
+
+/// charge: the cycle-ledger add — trivial work, but called once per priced
+/// event, so hook overhead shows up here first.
+fn bench_charge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("charge");
+    g.bench_function("charge_1", |b| {
+        let mut m = Machine::new(MachineConfig::ppc604_133());
+        b.iter(|| {
+            m.charge(1);
+            black_box(m.cycles)
+        });
+    });
+    g.finish();
+}
+
+/// trace_write: one ring push, steady state (ring full, overwriting).
+fn bench_trace_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_write");
+    g.bench_function("ring_push", |b| {
+        let mut ring = TraceRing::new(4096);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            ring.push(TraceRecord {
+                cycle,
+                pid: 1,
+                event: TraceEvent::TlbMiss {
+                    ea: cycle as u32,
+                    kernel: false,
+                },
+            });
+            black_box(ring.len())
+        });
+    });
+    g.finish();
+}
+
+/// hook_overhead: what the profiler itself costs at the hottest hook site.
+fn bench_hook_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hook_overhead");
+    g.bench_function("charge_dormant", |b| {
+        hostprof::disarm();
+        let mut m = Machine::new(MachineConfig::ppc604_133());
+        b.iter(|| {
+            m.charge(1);
+            black_box(m.cycles)
+        });
+    });
+    g.bench_function("charge_armed", |b| {
+        hostprof::arm();
+        let mut m = Machine::new(MachineConfig::ppc604_133());
+        b.iter(|| {
+            m.charge(1);
+            black_box(m.cycles)
+        });
+        hostprof::disarm();
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translate,
+    bench_cache,
+    bench_charge,
+    bench_trace_write,
+    bench_hook_overhead
+);
+criterion_main!(benches);

@@ -26,6 +26,7 @@
 //! repro perf report [--in <path>] [--folded <path>]
 //! repro perf annotate [--in <path>]
 //! repro perf diff A.perf B.perf [--folded <path>] # profile/flamegraph diff
+//! repro hostbench [--iters N] [--json <path>]     # simulator speed/alloc baseline
 //! ```
 //!
 //! `perf record` samples the workload with the modeled 604 PMU and writes a
@@ -35,12 +36,13 @@
 //! artifacts whose machine/depth/workload headers disagree — only the
 //! kernel-config axis may differ between the two sides.
 
-use bench::{depth_from_args, flag_value, positional_args, unknown_flags, EXPERIMENTS};
+use bench::{depth_from_args, flag_value, positional_args, unknown_flags, EXPERIMENTS, SUBCOMMANDS};
 use mmu_tricks::bench::bench_report;
 use mmu_tricks::chaos::{chaos_report, ChaosConfig};
 use mmu_tricks::diff::{diff_perf, diff_reports, parse_report};
 use mmu_tricks::experiments as ex;
 use mmu_tricks::experiments::TraceArtifacts;
+use mmu_tricks::hostbench::{run_hostbench, DEFAULT_ITERS};
 use mmu_tricks::matrix::run_matrix_jobs;
 use mmu_tricks::perf::{perf_record_on, PerfData, PerfWorkload};
 use mmu_tricks::tables::Table;
@@ -55,6 +57,10 @@ fn main() {
     let json_path = flag_value(&args, "--json");
     let trace_out = flag_value(&args, "--trace-out");
     let wanted = positional_args(&args);
+    if args.iter().any(|a| a == "--help") || wanted.first() == Some(&"help") {
+        println!("{}", usage_text());
+        return;
+    }
     let bad = unknown_flags(&args);
     if !bad.is_empty() {
         eprintln!("unknown flag(s): {}\n", bad.join(" "));
@@ -74,6 +80,7 @@ fn main() {
         "tune" => return tune_main(&args, depth),
         "diff" => return diff_main(&args, &wanted),
         "report" => return report_main(depth),
+        "hostbench" => return hostbench_main(&args, depth),
         _ => {}
     }
     let run_all = wanted.contains(&"all");
@@ -394,6 +401,23 @@ fn perf_main(args: &[String], depth: Depth) {
     }
 }
 
+/// `repro hostbench`: the simulator's own speed/allocation baseline. One
+/// counting pass (exact, deterministic) plus `--iters` timing passes over
+/// the fixed basket; `--json` writes the `mmu-tricks-hostbench-v1`
+/// artifact whose `"timing"` section is the only non-reproducible part.
+fn hostbench_main(args: &[String], depth: Depth) {
+    let iters: u32 = numeric_flag(args, "--iters", DEFAULT_ITERS);
+    if iters == 0 {
+        eprintln!("bad --iters 0 (need at least one timing pass)");
+        std::process::exit(2);
+    }
+    let result = run_hostbench(depth, iters);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &result.to_json()),
+        None => print!("{}", result.render()),
+    }
+}
+
 fn write_artifact(path: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("wrote {path}"),
@@ -405,50 +429,101 @@ fn write_artifact(path: &str, contents: &str) {
 }
 
 fn usage() {
-    eprintln!("repro — regenerate the paper's tables and figures\n");
-    eprintln!(
+    eprintln!("{}", usage_text());
+}
+
+/// The full help text. `repro --help` / `repro help` print it to stdout
+/// (exit 0); errors print it to stderr. Subcommands and experiments are
+/// rendered from the registries in the `bench` crate so the listing cannot
+/// drift from the dispatcher.
+fn usage_text() -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "repro — regenerate the paper's tables and figures\n");
+    let _ = writeln!(
+        s,
         "usage: repro <experiment...|all> [--depth quick|full] [--full] \
          [--markdown|--csv] [--json <path>] [--trace-out <path>]"
     );
-    eprintln!("       repro bench [--json <path>]");
-    eprintln!("       repro matrix [--depth quick|full] [--jobs N] [--json <path>]");
-    eprintln!("       repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]");
-    eprintln!("       repro report [--depth quick|full]");
-    eprintln!("       repro diff <a.json> <b.json> [--json <path>] [--limit N]");
-    eprintln!(
-        "       repro chaos [--seed N] [--runs N] [--steps N] [--check on|off] \
+    let _ = writeln!(s, "       repro <subcommand> [flags]   (see below)");
+    let _ = writeln!(s, "       repro help | --help\n");
+    let _ = writeln!(s, "subcommands:");
+    for (name, desc) in SUBCOMMANDS {
+        let _ = writeln!(s, "  {name:<16} {desc}");
+    }
+    let _ = writeln!(s, "\nsubcommand usage:");
+    let _ = writeln!(s, "  repro bench [--json <path>]");
+    let _ = writeln!(
+        s,
+        "  repro matrix [--depth quick|full] [--jobs N] [--json <path>]"
+    );
+    let _ = writeln!(
+        s,
+        "  repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]"
+    );
+    let _ = writeln!(s, "  repro report [--depth quick|full]");
+    let _ = writeln!(s, "  repro diff <a.json> <b.json> [--json <path>] [--limit N]");
+    let _ = writeln!(
+        s,
+        "  repro chaos [--seed N] [--runs N] [--steps N] [--check on|off] \
          [--verbose-from N] [--json <path>]"
     );
-    eprintln!(
-        "       repro perf <record|report|annotate> [--workload compile|storm] \
+    let _ = writeln!(
+        s,
+        "  repro perf <record|report|annotate> [--workload compile|storm] \
          [--period N] [--config unopt|opt] [--out <path>] [--in <path>] [--folded <path>]"
     );
-    eprintln!("       repro perf diff <a.perf> <b.perf> [--folded <path>]\n");
-    eprintln!("experiments:");
+    let _ = writeln!(s, "  repro perf diff <a.perf> <b.perf> [--folded <path>]");
+    let _ = writeln!(
+        s,
+        "  repro hostbench [--depth quick|full] [--iters N] [--json <path>]\n"
+    );
+    let _ = writeln!(s, "experiments:");
     for (id, desc) in EXPERIMENTS {
-        eprintln!("  {id:<16} {desc}");
+        let _ = writeln!(s, "  {id:<16} {desc}");
     }
-    eprintln!("\n--depth     quick (CI-sized, default) or full (paper-sized)");
-    eprintln!("--full      shorthand for --depth full");
-    eprintln!("--markdown  render tables as markdown");
-    eprintln!("--csv       render tables as CSV");
-    eprintln!("--json      write a machine-readable run report (metrics.json)");
-    eprintln!("--trace-out write the Chrome trace_event timeline JSON");
-    eprintln!("--workload  perf: workload to sample (compile, storm; default compile)");
-    eprintln!("--period    perf: sampling period in cycles (default 4096)");
-    eprintln!("--config    perf record: kernel preset to sample (unopt, opt; default opt)");
-    eprintln!("--out       perf record: output path (default perf.data)");
-    eprintln!("--in        perf report/annotate: read an existing perf.data");
-    eprintln!("--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)");
-    eprintln!("--limit     diff: ranked rows to render (default 25)");
-    eprintln!(
+    let _ = writeln!(s, "\n--depth     quick (CI-sized, default) or full (paper-sized)");
+    let _ = writeln!(s, "--full      shorthand for --depth full");
+    let _ = writeln!(s, "--markdown  render tables as markdown");
+    let _ = writeln!(s, "--csv       render tables as CSV");
+    let _ = writeln!(s, "--json      write a machine-readable run report (metrics.json)");
+    let _ = writeln!(s, "--trace-out write the Chrome trace_event timeline JSON");
+    let _ = writeln!(
+        s,
+        "--workload  perf: workload to sample (compile, storm; default compile)"
+    );
+    let _ = writeln!(s, "--period    perf: sampling period in cycles (default 4096)");
+    let _ = writeln!(
+        s,
+        "--config    perf record: kernel preset to sample (unopt, opt; default opt)"
+    );
+    let _ = writeln!(s, "--out       perf record: output path (default perf.data)");
+    let _ = writeln!(s, "--in        perf report/annotate: read an existing perf.data");
+    let _ = writeln!(
+        s,
+        "--folded    perf: collapsed stacks (flamegraph input; diff writes signed weights)"
+    );
+    let _ = writeln!(s, "--limit     diff: ranked rows to render (default 25)");
+    let _ = writeln!(
+        s,
         "--jobs      matrix: cells to run concurrently (default 1; output is byte-identical)"
     );
-    eprintln!("--seed      chaos: first fuzzer seed (default 1)");
-    eprintln!("--runs      chaos: number of consecutive seeds to run (default 1)");
-    eprintln!("--steps     chaos: fuzzed operations per run (default 400)");
-    eprintln!("--check     chaos: shadow-MM oracle + invariants on|off (default on)");
-    eprintln!("--verbose-from  chaos: print every op from this step on (repro aid)");
+    let _ = writeln!(s, "--seed      chaos: first fuzzer seed (default 1)");
+    let _ = writeln!(s, "--runs      chaos: number of consecutive seeds to run (default 1)");
+    let _ = writeln!(s, "--steps     chaos: fuzzed operations per run (default 400)");
+    let _ = writeln!(
+        s,
+        "--check     chaos: shadow-MM oracle + invariants on|off (default on)"
+    );
+    let _ = writeln!(
+        s,
+        "--iters     hostbench: timing passes after the counting pass (default {DEFAULT_ITERS})"
+    );
+    let _ = write!(
+        s,
+        "--verbose-from  chaos: print every op from this step on (repro aid)"
+    );
+    s
 }
 
 /// Everything a run accumulates for the `--json` / `--trace-out` artifacts.

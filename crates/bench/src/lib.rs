@@ -56,10 +56,29 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--steps",
     "--verbose-from",
     "--check",
+    "--iters",
 ];
 
 /// Flags that stand alone (no value argument).
-pub const BARE_FLAGS: &[&str] = &["--full", "--markdown", "--csv"];
+pub const BARE_FLAGS: &[&str] = &["--full", "--markdown", "--csv", "--help"];
+
+/// Every `repro` subcommand (dispatch names that are not experiment ids),
+/// with a one-line summary. The binary's usage text renders this list, and
+/// `tools/host_gate.sh` asserts `repro --help` mentions every entry — so a
+/// new subcommand that forgets to register here fails CI, not code review.
+pub const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("bench", "benchmark-regression baseline (mmu-tricks-bench-v1)"),
+    ("matrix", "machine × config × workload grid (mmu-tricks-matrix-v1)"),
+    ("tune", "offline per-machine coordinate descent (mmu-tricks-tune-v1)"),
+    ("report", "counters, self-time, latency, telemetry sparklines"),
+    ("diff", "structured comparison of two run reports"),
+    ("chaos", "adversarial fuzzing under the shadow-MM checker"),
+    ("perf", "sampled profiling: record/report/annotate/diff"),
+    (
+        "hostbench",
+        "simulator speed + allocation baseline (mmu-tricks-hostbench-v1)",
+    ),
+];
 
 /// Any `--flag` the harness does not know about. A typo'd flag must be an
 /// error, not a silently ignored no-op — `--dpeth full` running the quick
@@ -262,5 +281,20 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn subcommands_unique_and_disjoint_from_experiments() {
+        let mut names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SUBCOMMANDS.len());
+        for (n, _) in SUBCOMMANDS {
+            assert!(
+                !EXPERIMENTS.iter().any(|(id, _)| id == n),
+                "subcommand {n} shadows an experiment id"
+            );
+        }
+        assert!(SUBCOMMANDS.iter().any(|(n, _)| *n == "hostbench"));
     }
 }

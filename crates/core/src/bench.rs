@@ -13,8 +13,8 @@
 //!   PMU-off/trace-off identity the gates pin.
 //!
 //! The emitted JSON (`mmu-tricks-bench-v1`) is integer-only and
-//! byte-reproducible; `tools/bench_gate.sh` diffs a fresh run against the
-//! committed `BENCH_PR3.json` and fails CI on a >2% cycle regression.
+//! byte-reproducible; cycle-regression gating rides on the committed
+//! `BENCH_PR5.json` tune rows (`tools/bench_gate.sh`).
 //!
 //! [`trace_artifacts`]: crate::experiments::trace_artifacts
 

@@ -23,8 +23,9 @@
 //! config summary — a one-command repro
 //! (`repro chaos --seed N --steps K --verbose-from K`).
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use kernel_sim::fixed_hash::DetHashMap;
 
 use kernel_sim::task::TaskState;
 use kernel_sim::{CheckConfig, FaultInjection, Kernel, KernelConfig, KernelError, KernelStats};
@@ -175,7 +176,7 @@ impl TaskShape {
 
 struct Driver {
     rng: Rng,
-    shapes: HashMap<u32, TaskShape>,
+    shapes: DetHashMap<u32, TaskShape>,
     bin: usize,
     pipe: Option<usize>,
     fatals: u32,
@@ -433,7 +434,7 @@ fn run_chaos_tracked(cfg: &ChaosConfig, at_step: &mut u32) -> ChaosOutcome {
     let pt0 = k.frames.pt_free_pages();
     let mut d = Driver {
         rng: Rng::new(cfg.seed),
-        shapes: HashMap::new(),
+        shapes: DetHashMap::default(),
         bin,
         pipe: None,
         fatals: 0,

@@ -242,9 +242,9 @@ fn downsample(vals: &[u64], width: usize) -> Vec<f64> {
 
 /// The reference workload: the paper's compile, then a signal-heavy coda so
 /// all three latency paths (TLB reload, page fault, signal delivery) carry
-/// samples, then an idle sweep. Fully deterministic — the benchmark
-/// baseline (`BENCH_PR3.json`), the perf recorder and the E-PMU experiment
-/// all run exactly this, so their cycle totals are comparable.
+/// samples, then an idle sweep. Fully deterministic — the `repro bench`
+/// artifact, the perf recorder and the E-PMU experiment all run exactly
+/// this, so their cycle totals are comparable.
 pub fn reference_workload(k: &mut Kernel, depth: Depth) {
     lmbench::compile::kernel_compile(k, depth.compile());
     let pid = k.spawn_process(8).expect("room for the signal task");

@@ -1,0 +1,432 @@
+//! `repro hostbench`: the simulator's own speed and allocation baseline.
+//!
+//! Runs a fixed workload basket — the compile benchmark, the E-PRESSURE
+//! fault storm, one full matrix row (604/133 × all 8 configs × 3
+//! workloads), and a small checked chaos fleet — under the armed
+//! [`hostprof`] profiler, and reduces it to the `mmu-tricks-hostbench-v1`
+//! artifact.
+//!
+//! The artifact is split in two, *in this order*:
+//!
+//! * `"deterministic"` — simulated cycles executed, per-phase span counts,
+//!   allocations/bytes (total and per 1k simulated cycles). These are exact
+//!   and byte-reproducible run to run, so `tools/host_gate.sh` can `cmp`
+//!   them and gate **hard** on allocation regressions.
+//! * `"timing"` — the **last** top-level key: median/IQR host-ns per basket
+//!   item and per phase, the simulated-cycles-per-host-second headline, and
+//!   the peak-live-bytes RSS proxy (order-sensitive via std's randomized
+//!   HashMap hashing, hence not a deterministic count). Host time is
+//!   inherently noisy, so the gate only soft-warns here. Masking
+//!   "everything from the `"timing"` line on" (see [`deterministic_part`])
+//!   recovers the byte-comparable document.
+//!
+//! Every timing pass re-asserts that each basket item executed exactly the
+//! simulated cycles the counting pass saw — a hostbench run is itself a
+//! determinism check.
+
+use std::time::Instant;
+
+use kernel_sim::hostprof::{self, HostPhase, HostSnapshot, ALL_PHASES, NUM_PHASES};
+use kernel_sim::{Kernel, KernelConfig};
+use ppc_machine::MachineConfig;
+
+use crate::chaos::{chaos_report, ChaosConfig};
+use crate::experiments::pressure::run_pressure;
+use crate::matrix::{paper_machines, paper_variants, run_matrix_on, WORKLOADS};
+use crate::tables::Table;
+use crate::Depth;
+
+/// The basket item names, in run order.
+pub const BASKET: [&str; 4] = ["compile", "fault_storm", "matrix_row", "chaos_fleet"];
+
+/// Default number of timing passes (after the one counting pass).
+pub const DEFAULT_ITERS: u32 = 3;
+
+/// Chaos-fleet shape: seeds 1..=SEEDS at STEPS steps, checker on.
+const CHAOS_SEEDS: u64 = 4;
+const CHAOS_STEPS: u32 = 300;
+
+/// Runs one basket item to completion; returns simulated cycles executed.
+fn run_item(name: &str, depth: Depth) -> u64 {
+    match name {
+        "compile" => {
+            let mut k = Kernel::boot(MachineConfig::ppc604_133(), KernelConfig::optimized());
+            let c0 = k.machine.cycles;
+            lmbench::compile::kernel_compile(&mut k, depth.compile());
+            k.machine.cycles - c0
+        }
+        "fault_storm" => {
+            let hogs = match depth {
+                Depth::Quick => 10,
+                Depth::Full => 24,
+            };
+            run_pressure(42, hogs).cycles
+        }
+        "matrix_row" => {
+            let machines = paper_machines();
+            let row: Vec<_> = machines.into_iter().filter(|m| m.id == "604-133").collect();
+            let grid = run_matrix_on(&row, &paper_variants(), WORKLOADS, depth);
+            grid.cells.iter().map(|c| c.cycles).sum()
+        }
+        "chaos_fleet" => {
+            let mut total = 0u64;
+            for seed in 1..=CHAOS_SEEDS {
+                let out = chaos_report(&ChaosConfig::checked(seed, CHAOS_STEPS))
+                    .unwrap_or_else(|f| panic!("hostbench chaos seed {seed} failed: {f}"));
+                total += out.cycles;
+            }
+            total
+        }
+        other => panic!("unknown hostbench basket item {other:?}"),
+    }
+}
+
+/// Deterministic result of one basket item's counting pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemCounts {
+    /// Basket item name.
+    pub name: &'static str,
+    /// Simulated cycles the item executed.
+    pub sim_cycles: u64,
+    /// Host-profiler window for the run (exact counters; the `sampled_ns`
+    /// fields are ignored by the deterministic artifact section).
+    pub host: HostSnapshot,
+}
+
+impl ItemCounts {
+    /// Allocations per 1000 simulated cycles, in thousandths
+    /// (`allocs * 1_000_000 / cycles` — integer, deterministic).
+    pub fn allocs_per_1k_cycles_milli(&self) -> u64 {
+        ((self.host.total_allocs() as u128 * 1_000_000) / self.sim_cycles.max(1) as u128) as u64
+    }
+
+    /// Bytes allocated per 1000 simulated cycles.
+    pub fn alloc_bytes_per_1k_cycles(&self) -> u64 {
+        ((self.host.total_alloc_bytes() as u128 * 1_000) / self.sim_cycles.max(1) as u128) as u64
+    }
+}
+
+/// The full hostbench result: one counting pass plus `iters` timing passes.
+#[derive(Debug, Clone)]
+pub struct HostbenchResult {
+    /// `quick` or `full`.
+    pub depth: &'static str,
+    /// Number of timing passes.
+    pub iters: u32,
+    /// Counting-pass results, in [`BASKET`] order.
+    pub items: Vec<ItemCounts>,
+    /// Wall-ns per timing pass, per item (`runs_ns[item][pass]`).
+    pub runs_ns: Vec<Vec<u64>>,
+    /// Estimated ns per phase per timing pass
+    /// (`phase_ns[pass][phase]`, from stride-sampled span durations).
+    pub phase_ns: Vec<[u64; NUM_PHASES]>,
+}
+
+/// Median of a sample (mean of the middle two when even). 0 for empty.
+pub fn median(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2
+    }
+}
+
+/// Interquartile range of a sample (q3 − q1 by nearest-rank). 0 for empty.
+pub fn iqr(xs: &[u64]) -> u64 {
+    if xs.len() < 2 {
+        return 0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    // Nearest-rank quartiles: q1 = v[ceil(n/4) - 1], q3 = v[ceil(3n/4) - 1].
+    v[(3 * n).div_ceil(4) - 1].saturating_sub(v[n.div_ceil(4) - 1])
+}
+
+fn cycles_per_sec(cycles: u64, ns: u64) -> u64 {
+    ((cycles as u128 * 1_000_000_000) / ns.max(1) as u128) as u64
+}
+
+/// Runs the basket: arms [`hostprof`], takes one counting pass (exact
+/// deterministic counters per item), then `iters` timing passes (wall
+/// clock per item, sampled phase durations per pass), then disarms.
+///
+/// # Panics
+///
+/// Panics if a timing pass executes a different simulated-cycle count than
+/// the counting pass — the simulator would no longer be deterministic.
+pub fn run_hostbench(depth: Depth, iters: u32) -> HostbenchResult {
+    hostprof::arm();
+    let mut items = Vec::with_capacity(BASKET.len());
+    for name in BASKET {
+        hostprof::reset_peak();
+        let before = hostprof::snapshot();
+        let sim_cycles = {
+            let _d = hostprof::span(HostPhase::Driver);
+            run_item(name, depth)
+        };
+        let after = hostprof::snapshot();
+        items.push(ItemCounts {
+            name,
+            sim_cycles,
+            host: after.delta(&before),
+        });
+    }
+    let mut runs_ns: Vec<Vec<u64>> = vec![Vec::with_capacity(iters as usize); BASKET.len()];
+    let mut phase_ns = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let pass_before = hostprof::snapshot();
+        for (i, name) in BASKET.iter().enumerate() {
+            let t0 = Instant::now();
+            let sim_cycles = {
+                let _d = hostprof::span(HostPhase::Driver);
+                run_item(name, depth)
+            };
+            runs_ns[i].push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(
+                sim_cycles, items[i].sim_cycles,
+                "hostbench item {name} executed a different cycle count on a \
+                 timing pass — the simulator is not deterministic"
+            );
+        }
+        let d = hostprof::snapshot().delta(&pass_before);
+        let mut per_phase = [0u64; NUM_PHASES];
+        for (p, slot) in per_phase.iter_mut().enumerate() {
+            *slot = d.phases[p].est_total_ns();
+        }
+        phase_ns.push(per_phase);
+    }
+    hostprof::disarm();
+    HostbenchResult {
+        depth: match depth {
+            Depth::Quick => "quick",
+            Depth::Full => "full",
+        },
+        iters,
+        items,
+        runs_ns,
+        phase_ns,
+    }
+}
+
+impl HostbenchResult {
+    /// Total simulated cycles across the basket (deterministic).
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.items.iter().map(|i| i.sim_cycles).sum()
+    }
+
+    /// Wall-ns of each whole-basket timing pass.
+    pub fn pass_totals_ns(&self) -> Vec<u64> {
+        (0..self.iters as usize)
+            .map(|p| self.runs_ns.iter().map(|r| r[p]).sum())
+            .collect()
+    }
+
+    /// The headline: simulated cycles per host second, at the median
+    /// whole-basket pass.
+    pub fn headline_cycles_per_sec(&self) -> u64 {
+        cycles_per_sec(self.total_sim_cycles(), median(&self.pass_totals_ns()))
+    }
+
+    /// The `mmu-tricks-hostbench-v1` JSON document. Integer-only; the
+    /// `"timing"` key is the last top-level key, so truncating the document
+    /// at the line containing `"timing":` yields the byte-comparable
+    /// deterministic part (see [`deterministic_part`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"mmu-tricks-hostbench-v1\",\n");
+        s.push_str(&format!("  \"depth\": \"{}\",\n", self.depth));
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str(&format!(
+            "  \"sample_stride\": {},\n",
+            hostprof::SAMPLE_STRIDE
+        ));
+        // ---- deterministic section (exact, byte-reproducible) ----
+        s.push_str("  \"deterministic\": {\n");
+        let total_allocs: u64 = self.items.iter().map(|i| i.host.total_allocs()).sum();
+        let total_bytes: u64 = self.items.iter().map(|i| i.host.total_alloc_bytes()).sum();
+        let total_spans: u64 = self.items.iter().map(|i| i.host.total_spans()).sum();
+        s.push_str(&format!(
+            "    \"total\": {{\"sim_cycles\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"spans\": {}}},\n",
+            self.total_sim_cycles(),
+            total_allocs,
+            total_bytes,
+            total_spans
+        ));
+        s.push_str("    \"workloads\": {\n");
+        for (i, it) in self.items.iter().enumerate() {
+            s.push_str(&format!(
+                "      \"{}\": {{\"sim_cycles\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
+                 \"frees\": {}, \"allocs_per_1k_cycles_milli\": {}, \
+                 \"alloc_bytes_per_1k_cycles\": {}, \"phases\": {{",
+                it.name,
+                it.sim_cycles,
+                it.host.total_allocs(),
+                it.host.total_alloc_bytes(),
+                it.host.phases.iter().map(|p| p.frees).sum::<u64>(),
+                it.allocs_per_1k_cycles_milli(),
+                it.alloc_bytes_per_1k_cycles()
+            ));
+            for (pi, phase) in ALL_PHASES.iter().enumerate() {
+                let c = it.host.phases[pi];
+                if pi > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "\"{}\": {{\"spans\": {}, \"allocs\": {}, \"alloc_bytes\": {}}}",
+                    phase.name(),
+                    c.spans,
+                    c.allocs,
+                    c.alloc_bytes
+                ));
+            }
+            s.push_str("}}");
+            s.push_str(if i + 1 < self.items.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("    }\n  },\n");
+        // ---- timing section (noisy; masked by the determinism gates) ----
+        let totals = self.pass_totals_ns();
+        s.push_str("  \"timing\": {\n");
+        s.push_str(&format!(
+            "    \"headline\": {{\"sim_cycles_per_host_sec\": {}, \"total_median_ns\": {}, \
+             \"total_iqr_ns\": {}}},\n",
+            self.headline_cycles_per_sec(),
+            median(&totals),
+            iqr(&totals)
+        ));
+        s.push_str("    \"workloads\": {\n");
+        for (i, it) in self.items.iter().enumerate() {
+            let m = median(&self.runs_ns[i]);
+            // peak_live_bytes lives here, not under "deterministic":
+            // allocation *counts* are order-independent, but the transient
+            // high-water mark follows std HashMap iteration order, which is
+            // per-process-randomized. It is an RSS proxy, not a count.
+            s.push_str(&format!(
+                "      \"{}\": {{\"median_ns\": {}, \"iqr_ns\": {}, \
+                 \"sim_cycles_per_host_sec\": {}, \"peak_live_bytes\": {}}}{}\n",
+                it.name,
+                m,
+                iqr(&self.runs_ns[i]),
+                cycles_per_sec(it.sim_cycles, m),
+                it.host.peak_live_bytes,
+                if i + 1 < self.items.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    },\n    \"phases\": {\n");
+        for (pi, phase) in ALL_PHASES.iter().enumerate() {
+            let per_pass: Vec<u64> = self.phase_ns.iter().map(|p| p[pi]).collect();
+            s.push_str(&format!(
+                "      \"{}\": {{\"median_est_ns\": {}, \"iqr_est_ns\": {}}}{}\n",
+                phase.name(),
+                median(&per_pass),
+                iqr(&per_pass),
+                if pi + 1 < ALL_PHASES.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    }\n  }\n}\n");
+        s
+    }
+
+    /// Renders the human-readable report (deterministic table, phase
+    /// table, headline line).
+    pub fn render(&self) -> String {
+        let mut det = Table::new(
+            format!("Hostbench (depth {}, {} timing passes)", self.depth, self.iters),
+            vec![
+                "item".into(),
+                "sim Mcycles".into(),
+                "allocs".into(),
+                "allocs/1k cyc".into(),
+                "KiB/1k cyc".into(),
+                "median ms".into(),
+                "Mcyc/s".into(),
+            ],
+        );
+        for (i, it) in self.items.iter().enumerate() {
+            let m = median(&self.runs_ns[i]);
+            det.push_row(vec![
+                it.name.into(),
+                format!("{:.1}", it.sim_cycles as f64 / 1e6),
+                it.host.total_allocs().to_string(),
+                format!("{:.3}", it.allocs_per_1k_cycles_milli() as f64 / 1000.0),
+                format!("{:.2}", it.alloc_bytes_per_1k_cycles() as f64 / 1024.0),
+                format!("{:.1}", m as f64 / 1e6),
+                format!("{:.1}", cycles_per_sec(it.sim_cycles, m) as f64 / 1e6),
+            ]);
+        }
+        let mut phases = Table::new(
+            "Host phases (exact spans, stride-sampled time)",
+            vec![
+                "phase".into(),
+                "spans".into(),
+                "allocs".into(),
+                "est ms/pass".into(),
+            ],
+        );
+        for (pi, phase) in ALL_PHASES.iter().enumerate() {
+            let spans: u64 = self.items.iter().map(|i| i.host.phases[pi].spans).sum();
+            let allocs: u64 = self.items.iter().map(|i| i.host.phases[pi].allocs).sum();
+            let per_pass: Vec<u64> = self.phase_ns.iter().map(|p| p[pi]).collect();
+            phases.push_row(vec![
+                phase.name().into(),
+                spans.to_string(),
+                allocs.to_string(),
+                format!("{:.1}", median(&per_pass) as f64 / 1e6),
+            ]);
+        }
+        format!(
+            "{}\n{}\nheadline: {:.2} M sim-cycles per host second\n",
+            det.render(),
+            phases.render(),
+            self.headline_cycles_per_sec() as f64 / 1e6
+        )
+    }
+}
+
+/// The deterministic prefix of a hostbench JSON document: everything
+/// before the line introducing the `"timing"` key. Two artifacts from the
+/// same build must be byte-identical here; `tools/host_gate.sh` and the
+/// determinism test both compare exactly this slice.
+pub fn deterministic_part(json: &str) -> &str {
+    match json.find("\n  \"timing\":") {
+        Some(i) => &json[..i],
+        None => json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_iqr() {
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 9]), 5);
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(iqr(&[5]), 0);
+        assert_eq!(iqr(&[1, 2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn deterministic_part_stops_at_timing() {
+        let doc = "{\n  \"a\": 1,\n  \"timing\": {\n    \"x\": 2\n  }\n}\n";
+        assert_eq!(deterministic_part(doc), "{\n  \"a\": 1,");
+        assert_eq!(deterministic_part("{}"), "{}");
+    }
+
+    #[test]
+    fn basket_names_match_run_item() {
+        // Every basket name must dispatch (panic would fail the test), and
+        // the cheap items must report nonzero simulated cycles.
+        let c = run_item("fault_storm", Depth::Quick);
+        assert!(c > 0);
+    }
+}

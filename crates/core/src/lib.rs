@@ -33,13 +33,15 @@ pub mod bench;
 pub mod chaos;
 pub mod diff;
 pub mod experiments;
+pub mod hostbench;
 pub mod matrix;
 pub mod perf;
 pub mod tables;
 pub mod tune;
 
 pub use kernel_sim::{
-    HandlerStyle, Kernel, KernelConfig, KernelStats, OsModel, PageClearing, VsidPolicy,
+    hostprof, HandlerStyle, HostPhase, Kernel, KernelConfig, KernelStats, OsModel, PageClearing,
+    PhaseCounters, VsidPolicy,
 };
 pub use lmbench::{run_suite, CompileConfig, LmbenchResults, SuiteConfig};
 pub use ppc_machine::{CpuModel, Machine, MachineConfig, SimTime};

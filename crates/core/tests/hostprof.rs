@@ -1,0 +1,92 @@
+//! Host-profiler integration gates:
+//!
+//! 1. **Cycle identity** — an armed profiler must not perturb the
+//!    simulation: a matrix sample run armed is byte-identical (cycles,
+//!    stats, self-time, latency) to the same sample run dormant. Same
+//!    discipline as the tracer/PMU/telemetry/checker identity tests.
+//! 2. **Determinism** — two hostbench runs produce byte-identical
+//!    artifacts once the documented timing fields are masked.
+//!
+//! These tests share one file (= one test binary) and serialize on a mutex
+//! because the profiler is a process-global singleton.
+
+use mmu_tricks::hostbench::{deterministic_part, run_hostbench, HostbenchResult};
+use mmu_tricks::matrix::{paper_machines, paper_variants, run_matrix_on};
+use mmu_tricks::Depth;
+use mmu_tricks::{hostprof, HostPhase, PhaseCounters};
+
+use std::sync::Mutex;
+
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+/// The sample: two machines (one 603 software-reload row, one 604 hardware
+/// row) × the two endpoint configs × two workloads — 8 cells spanning both
+/// reload paths, both kernels, and the fault machinery.
+fn matrix_sample() -> String {
+    let machines: Vec<_> = paper_machines()
+        .into_iter()
+        .filter(|m| m.id == "603-swload" || m.id == "604-133")
+        .collect();
+    let variants: Vec<_> = paper_variants()
+        .into_iter()
+        .filter(|(name, _)| *name == "unopt" || *name == "opt")
+        .collect();
+    run_matrix_on(&machines, &variants, &["compile", "fault_storm"], Depth::Quick).to_json()
+}
+
+#[test]
+fn armed_run_is_cycle_and_counter_identical_to_dormant() {
+    let _g = ARM_LOCK.lock().unwrap();
+    hostprof::disarm();
+    let dormant = matrix_sample();
+    hostprof::arm();
+    let armed = matrix_sample();
+    let counted = hostprof::snapshot();
+    hostprof::disarm();
+    assert!(
+        counted.total_spans() > 0,
+        "the armed run must actually have been observed"
+    );
+    assert_eq!(
+        dormant, armed,
+        "arming the host profiler changed simulated cycles or counters"
+    );
+}
+
+/// Zeroes the `other` phase before rendering: that bucket absorbs
+/// allocations from every thread that never opens a span — including the
+/// libtest harness threads running next to this test — so it is excluded
+/// here. The cross-process byte-comparison in `tools/host_gate.sh` covers
+/// the full document, `other` included.
+fn masked_deterministic_json(mut r: HostbenchResult) -> String {
+    for item in &mut r.items {
+        item.host.phases[HostPhase::Other as usize] = PhaseCounters::default();
+    }
+    deterministic_part(&r.to_json()).to_string()
+}
+
+#[test]
+fn hostbench_artifacts_are_byte_identical_after_masking_timing() {
+    let _g = ARM_LOCK.lock().unwrap();
+    // First run warms up lazy allocations (std one-time initializers land
+    // in whatever phase is current the first time a path runs); compare
+    // the two runs after it.
+    let _warmup = run_hostbench(Depth::Quick, 0);
+    let a = run_hostbench(Depth::Quick, 0);
+    let b = run_hostbench(Depth::Quick, 0);
+    assert!(!hostprof::armed(), "run_hostbench must disarm on exit");
+    for (ia, ib) in a.items.iter().zip(&b.items) {
+        assert_eq!(ia.name, ib.name);
+        assert_eq!(ia.sim_cycles, ib.sim_cycles, "{}: sim cycles drifted", ia.name);
+    }
+    let ja = masked_deterministic_json(a);
+    let jb = masked_deterministic_json(b);
+    assert!(
+        ja.contains("\"allocs_per_1k_cycles_milli\""),
+        "deterministic section lost its gate key"
+    );
+    assert_eq!(
+        ja, jb,
+        "hostbench deterministic sections differ between back-to-back runs"
+    );
+}

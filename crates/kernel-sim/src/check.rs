@@ -29,6 +29,7 @@ use ppc_mmu::addr::{EffectiveAddress, PhysAddr, VirtualAddress};
 use ppc_mmu::pte::Pte;
 use ppc_mmu::translate::AccessType;
 
+use crate::hostprof;
 use crate::kernel::Kernel;
 use crate::layout::{is_io, is_kernel_linear, kva_to_pa};
 use crate::oracle::{ShadowEntry, ShadowMm};
@@ -143,6 +144,7 @@ impl Kernel {
         let Some(mut c) = self.check.take() else {
             return;
         };
+        let _host = hostprof::span(hostprof::HostPhase::Checker);
         if c.cfg.invariants {
             if let Some(v) = self.invariant_violation(&mut c.last_generation) {
                 self.check = Some(c);
@@ -170,6 +172,7 @@ impl Kernel {
         let Some(mut c) = self.check.take() else {
             return;
         };
+        let _host = hostprof::span(hostprof::HostPhase::Checker);
         c.heavy_sweeps += 1;
         if let Some(v) = self.heavy_sweep_violation(&c) {
             self.check = Some(c);
@@ -425,6 +428,7 @@ impl Kernel {
         if self.check.is_none() {
             return;
         }
+        let _host = hostprof::span(hostprof::HostPhase::Checker);
         let Some(c) = self.check.take() else { return };
         if c.cfg.oracle {
             let va = self.machine.mmu.segments.translate(ea);
@@ -453,6 +457,7 @@ impl Kernel {
         if self.check.is_none() {
             return;
         }
+        let _host = hostprof::span(hostprof::HostPhase::Checker);
         let Some(c) = self.check.take() else { return };
         if c.cfg.oracle {
             if let Some(v) = c.oracle.check_observation(

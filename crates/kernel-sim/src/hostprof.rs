@@ -1,0 +1,578 @@
+//! Host-side profiler: where does the *simulator's* time and memory go?
+//!
+//! PRs 2–4 made the simulated kernel observable; this module points the same
+//! discipline at the simulator itself, one level down. It answers two
+//! questions the ROADMAP's "raw simulator speed: 10×" item needs answered
+//! before anyone optimizes anything:
+//!
+//! 1. **Where does host time go?** Coarse RAII spans classify execution into
+//!    eight [`HostPhase`]s (translate, cache, charge, trace-write, telemetry,
+//!    checker, workload-driver, other). Span *counts* are exact; span
+//!    *timestamps* are stride-sampled (every [`SAMPLE_STRIDE`]th entry takes
+//!    an `Instant` pair) so the measurement does not dominate the hot paths
+//!    it measures. Sampled durations are inclusive of nested spans.
+//!
+//! 2. **Where do host allocations go?** A counting [`GlobalAlloc`]
+//!    ([`CountingAlloc`], installed as the `#[global_allocator]` for every
+//!    binary linking this crate) attributes every allocation and free to the
+//!    current thread's phase, plus a live-bytes ledger whose high-water mark
+//!    is a peak-RSS proxy. Counts are exact and — because the simulator is
+//!    deterministic — reproducible, which is what lets `tools/host_gate.sh`
+//!    gate *hard* on allocations per 1k simulated cycles while only
+//!    soft-warning on wall-clock throughput.
+//!
+//! # Dormant by construction
+//!
+//! Everything is compiled in always but does nothing until [`arm`] is
+//! called: dormant cost is one relaxed atomic load per hook (and per
+//! allocation). The profiler never reads or writes simulator state, so armed
+//! runs are *simulated-cycle- and counter-identical* to dormant ones — a
+//! test in `crates/core/tests/hostprof.rs` pins that identity across a
+//! matrix sample, the same way the tracer/PMU/telemetry/checker observers
+//! prove theirs.
+//!
+//! # Layering
+//!
+//! `ppc-mmu` and `ppc-cache` sit below this crate, so they cannot call it.
+//! Each exposes a `host` module with a registerable enter/exit
+//! function-pointer pair; [`arm`] installs [`hook_enter`]/[`hook_exit`]
+//! there. `ppc-machine` reports its charge phase through `ppc_mmu::host`.
+//! Phase ids are plain `u8`s shared by convention; the tests below pin every
+//! leaf-crate constant to the [`HostPhase`] discriminants.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The host-phase taxonomy. Mirrors the sim-side [`Subsystem`] buckets but
+/// coarser: these are *host-cost* centers, not kernel subsystems.
+///
+/// [`Subsystem`]: crate::prof::Subsystem
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum HostPhase {
+    /// Hardware translation: BAT/TLB lookup, htab probe/insert/rehash
+    /// (`ppc_mmu`).
+    Translate = 0,
+    /// Cache and memory-hierarchy accesses (`ppc_cache`).
+    Cache = 1,
+    /// Cycle charging on the machine ledger (`ppc_machine::Machine::charge`).
+    Charge = 2,
+    /// Trace-ring writes and latency recording (`kernel_sim::trace`).
+    TraceWrite = 3,
+    /// Epoch telemetry sampling (`kernel_sim::telemetry`).
+    Telemetry = 4,
+    /// Shadow-MM oracle and invariant checking (`kernel_sim::check`).
+    Checker = 5,
+    /// The workload driver: boot, syscall issue, harness bookkeeping
+    /// (`repro hostbench` wraps each basket item in this).
+    Driver = 6,
+    /// Everything else, including all threads that never open a span.
+    Other = 7,
+}
+
+/// Number of phases (array dimension for counters and snapshots).
+pub const NUM_PHASES: usize = 8;
+
+/// Every phase, in id order.
+pub const ALL_PHASES: [HostPhase; NUM_PHASES] = [
+    HostPhase::Translate,
+    HostPhase::Cache,
+    HostPhase::Charge,
+    HostPhase::TraceWrite,
+    HostPhase::Telemetry,
+    HostPhase::Checker,
+    HostPhase::Driver,
+    HostPhase::Other,
+];
+
+impl HostPhase {
+    /// Stable lowercase name (artifact keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostPhase::Translate => "translate",
+            HostPhase::Cache => "cache",
+            HostPhase::Charge => "charge",
+            HostPhase::TraceWrite => "trace_write",
+            HostPhase::Telemetry => "telemetry",
+            HostPhase::Checker => "checker",
+            HostPhase::Driver => "driver",
+            HostPhase::Other => "other",
+        }
+    }
+
+    /// Phase for a raw id; out-of-range ids clamp to [`HostPhase::Other`].
+    pub fn from_id(id: u8) -> HostPhase {
+        *ALL_PHASES.get(id as usize).unwrap_or(&HostPhase::Other)
+    }
+}
+
+/// Every `SAMPLE_STRIDE`th span entry per phase takes an `Instant` pair.
+/// 64 keeps timing overhead ~2% of span overhead while still collecting
+/// thousands of samples per hostbench pass.
+pub const SAMPLE_STRIDE: u64 = 64;
+
+/// Sentinel `start_ns` meaning "this span is not timed".
+const UNTIMED: u64 = u64::MAX;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+// Per-phase counters. `const` item so the array initializer is allowed.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+static SPANS: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static ALLOCS: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static ALLOC_BYTES: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static FREES: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static FREE_BYTES: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static SAMPLED_NS: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+static SAMPLES: [AtomicU64; NUM_PHASES] = [ZERO_U64; NUM_PHASES];
+
+// Live-bytes ledger. Signed: frees of memory allocated before arming (or on
+// other threads before their first span) legitimately drive it negative
+// relative to the arm point.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    // Current phase of this thread. `const` init: accessing it never
+    // allocates, which matters because the allocator hook reads it.
+    static CUR_PHASE: Cell<u8> = const { Cell::new(HostPhase::Other as u8) };
+}
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Arms the profiler: installs the leaf-crate hooks (first call only) and
+/// enables every guard and the allocation accounting.
+pub fn arm() {
+    // The EPOCH must exist before any hook can race to time a span.
+    let _ = EPOCH.get_or_init(Instant::now);
+    ppc_mmu::host::install(hook_enter, hook_exit);
+    ppc_cache::host::install(hook_enter, hook_exit);
+    ARMED.store(true, Relaxed);
+}
+
+/// Disarms the profiler. Counters keep their values until [`reset`].
+pub fn disarm() {
+    ARMED.store(false, Relaxed);
+    ppc_mmu::host::disable();
+    ppc_cache::host::disable();
+}
+
+/// True while armed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Relaxed)
+}
+
+/// Zeroes every counter and re-bases the live/peak ledger.
+pub fn reset() {
+    for i in 0..NUM_PHASES {
+        SPANS[i].store(0, Relaxed);
+        ALLOCS[i].store(0, Relaxed);
+        ALLOC_BYTES[i].store(0, Relaxed);
+        FREES[i].store(0, Relaxed);
+        FREE_BYTES[i].store(0, Relaxed);
+        SAMPLED_NS[i].store(0, Relaxed);
+        SAMPLES[i].store(0, Relaxed);
+    }
+    LIVE_BYTES.store(0, Relaxed);
+    PEAK_LIVE_BYTES.store(0, Relaxed);
+}
+
+/// Re-bases the peak-live mark to the current live level, so the next
+/// snapshot's peak measures the high-water mark *of the window*.
+pub fn reset_peak() {
+    PEAK_LIVE_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
+}
+
+/// Span entry hook (also installed into the leaf crates). Returns
+/// `(previous_phase, start_ns)`; `start_ns == u64::MAX` means untimed.
+pub fn hook_enter(phase: u8) -> (u8, u64) {
+    let idx = (phase as usize).min(NUM_PHASES - 1);
+    let n = SPANS[idx].fetch_add(1, Relaxed);
+    let prev = CUR_PHASE.with(|c| c.replace(idx as u8));
+    let start_ns = if n.is_multiple_of(SAMPLE_STRIDE) {
+        now_ns()
+    } else {
+        UNTIMED
+    };
+    (prev, start_ns)
+}
+
+/// Span exit hook: restores the thread's phase, credits the sampled
+/// duration (inclusive of nested spans) if this entry was timed.
+pub fn hook_exit(prev: u8, phase: u8, start_ns: u64) {
+    let idx = (phase as usize).min(NUM_PHASES - 1);
+    if start_ns != UNTIMED {
+        SAMPLED_NS[idx].fetch_add(now_ns().saturating_sub(start_ns), Relaxed);
+        SAMPLES[idx].fetch_add(1, Relaxed);
+    }
+    CUR_PHASE.with(|c| c.set(prev));
+}
+
+/// RAII phase guard for code inside this crate (and above it). Identical
+/// mechanics to the leaf-crate guards; one relaxed load when dormant.
+pub struct HostSpan {
+    prev: u8,
+    phase: u8,
+    start_ns: u64,
+    active: bool,
+}
+
+/// Opens a span for `phase` if armed.
+#[inline]
+pub fn span(phase: HostPhase) -> HostSpan {
+    if !ARMED.load(Relaxed) {
+        return HostSpan {
+            prev: 0,
+            phase: 0,
+            start_ns: 0,
+            active: false,
+        };
+    }
+    let (prev, start_ns) = hook_enter(phase as u8);
+    HostSpan {
+        prev,
+        phase: phase as u8,
+        start_ns,
+        active: true,
+    }
+}
+
+impl Drop for HostSpan {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            hook_exit(self.prev, self.phase, self.start_ns);
+        }
+    }
+}
+
+/// The counting global allocator: delegates to [`System`], attributing
+/// every allocation/free to the calling thread's current phase while armed.
+pub struct CountingAlloc;
+
+fn note_alloc(size: usize) {
+    let idx = CUR_PHASE
+        .try_with(|c| c.get() as usize)
+        .unwrap_or(HostPhase::Other as usize)
+        .min(NUM_PHASES - 1);
+    ALLOCS[idx].fetch_add(1, Relaxed);
+    ALLOC_BYTES[idx].fetch_add(size as u64, Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as i64, Relaxed) + size as i64;
+    PEAK_LIVE_BYTES.fetch_max(live, Relaxed);
+}
+
+fn note_free(size: usize) {
+    let idx = CUR_PHASE
+        .try_with(|c| c.get() as usize)
+        .unwrap_or(HostPhase::Other as usize)
+        .min(NUM_PHASES - 1);
+    FREES[idx].fetch_add(1, Relaxed);
+    FREE_BYTES[idx].fetch_add(size as u64, Relaxed);
+    LIVE_BYTES.fetch_sub(size as i64, Relaxed);
+}
+
+// SAFETY: pure delegation to `System`; the accounting only touches atomics
+// and a const-initialized (never-allocating) thread-local, so it cannot
+// recurse into the allocator or observe torn state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() && ARMED.load(Relaxed) {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ARMED.load(Relaxed) {
+            note_free(layout.size());
+        }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() && ARMED.load(Relaxed) {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && ARMED.load(Relaxed) {
+            // Accounted as a free of the old block plus an allocation of the
+            // new one, whatever the system allocator did underneath.
+            note_free(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Exact per-phase counters (a snapshot row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseCounters {
+    /// Span entries (exact).
+    pub spans: u64,
+    /// Allocations attributed to the phase (exact).
+    pub allocs: u64,
+    /// Bytes allocated (exact).
+    pub alloc_bytes: u64,
+    /// Frees attributed to the phase (exact).
+    pub frees: u64,
+    /// Bytes freed (exact).
+    pub free_bytes: u64,
+    /// Sum of sampled span durations, ns (timing — not deterministic).
+    pub sampled_ns: u64,
+    /// Number of timed spans behind `sampled_ns`.
+    pub samples: u64,
+}
+
+impl PhaseCounters {
+    fn delta(&self, base: &PhaseCounters) -> PhaseCounters {
+        PhaseCounters {
+            spans: self.spans - base.spans,
+            allocs: self.allocs - base.allocs,
+            alloc_bytes: self.alloc_bytes - base.alloc_bytes,
+            frees: self.frees - base.frees,
+            free_bytes: self.free_bytes - base.free_bytes,
+            sampled_ns: self.sampled_ns - base.sampled_ns,
+            samples: self.samples - base.samples,
+        }
+    }
+
+    /// Estimated total ns in the phase: mean sampled duration × span count.
+    /// Zero when nothing was sampled.
+    pub fn est_total_ns(&self) -> u64 {
+        self.sampled_ns
+            .checked_div(self.samples)
+            .map_or(0, |mean| mean.saturating_mul(self.spans))
+    }
+}
+
+/// A full profiler snapshot. Subtract two with [`HostSnapshot::delta`] to
+/// scope a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSnapshot {
+    /// Per-phase counters, indexed by phase id.
+    pub phases: [PhaseCounters; NUM_PHASES],
+    /// Net live bytes relative to the last [`reset`] (signed: see ledger
+    /// comment).
+    pub live_bytes: i64,
+    /// High-water live-bytes mark since the last [`reset`]/[`reset_peak`].
+    pub peak_live_bytes: i64,
+}
+
+/// Reads every counter (relaxed; exact when no other thread is mid-span).
+pub fn snapshot() -> HostSnapshot {
+    let mut phases = [PhaseCounters::default(); NUM_PHASES];
+    for (i, p) in phases.iter_mut().enumerate() {
+        *p = PhaseCounters {
+            spans: SPANS[i].load(Relaxed),
+            allocs: ALLOCS[i].load(Relaxed),
+            alloc_bytes: ALLOC_BYTES[i].load(Relaxed),
+            frees: FREES[i].load(Relaxed),
+            free_bytes: FREE_BYTES[i].load(Relaxed),
+            sampled_ns: SAMPLED_NS[i].load(Relaxed),
+            samples: SAMPLES[i].load(Relaxed),
+        };
+    }
+    HostSnapshot {
+        phases,
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Relaxed),
+    }
+}
+
+impl HostSnapshot {
+    /// Window between `base` (earlier) and `self` (later). Counters
+    /// subtract; `live_bytes` becomes the window's net growth and
+    /// `peak_live_bytes` the window's high-water mark above the base live
+    /// level (call [`reset_peak`] at the window start for that to be tight).
+    pub fn delta(&self, base: &HostSnapshot) -> HostSnapshot {
+        let mut phases = [PhaseCounters::default(); NUM_PHASES];
+        for (slot, (now, then)) in phases.iter_mut().zip(self.phases.iter().zip(&base.phases)) {
+            *slot = now.delta(then);
+        }
+        HostSnapshot {
+            phases,
+            live_bytes: self.live_bytes - base.live_bytes,
+            peak_live_bytes: self.peak_live_bytes - base.live_bytes,
+        }
+    }
+
+    /// Total allocations across phases.
+    pub fn total_allocs(&self) -> u64 {
+        self.phases.iter().map(|p| p.allocs).sum()
+    }
+
+    /// Total bytes allocated across phases.
+    pub fn total_alloc_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.alloc_bytes).sum()
+    }
+
+    /// Total span entries across phases.
+    pub fn total_spans(&self) -> u64 {
+        self.phases.iter().map(|p| p.spans).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Tests that arm the global profiler must not interleave.
+    static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn phase_ids_agree_across_the_stack() {
+        // The leaf crates re-declare their phase ids (they cannot see this
+        // crate); this is the one place all the namespaces meet.
+        assert_eq!(ppc_mmu::host::PHASE_TRANSLATE, HostPhase::Translate as u8);
+        assert_eq!(ppc_mmu::host::PHASE_CHARGE, HostPhase::Charge as u8);
+        assert_eq!(ppc_cache::host::PHASE_CACHE, HostPhase::Cache as u8);
+        for (i, p) in ALL_PHASES.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+            assert_eq!(HostPhase::from_id(*p as u8), *p);
+        }
+        assert_eq!(HostPhase::from_id(200), HostPhase::Other);
+    }
+
+    #[test]
+    fn phase_names_unique() {
+        let mut names: Vec<&str> = ALL_PHASES.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_PHASES);
+    }
+
+    #[test]
+    fn dormant_spans_and_allocs_count_nothing() {
+        let _g = ARM_LOCK.lock().unwrap();
+        disarm();
+        reset();
+        let before = snapshot();
+        {
+            let _s = span(HostPhase::Translate);
+            let v: Vec<u64> = (0..100).collect();
+            assert_eq!(v.len(), 100);
+        }
+        let after = snapshot();
+        assert_eq!(before, after, "dormant profiler must observe nothing");
+    }
+
+    #[test]
+    fn armed_spans_attribute_allocations_to_the_phase() {
+        let _g = ARM_LOCK.lock().unwrap();
+        arm();
+        reset();
+        let before = snapshot();
+        {
+            let _s = span(HostPhase::Driver);
+            let v: Vec<u64> = Vec::with_capacity(1000);
+            std::hint::black_box(&v);
+        }
+        let after = snapshot();
+        disarm();
+        let d = after.delta(&before);
+        let drv = d.phases[HostPhase::Driver as usize];
+        assert_eq!(drv.spans, 1);
+        assert!(drv.allocs >= 1, "the Vec allocation lands in Driver");
+        assert!(drv.alloc_bytes >= 8000);
+    }
+
+    #[test]
+    fn spans_nest_and_restore_the_previous_phase() {
+        let _g = ARM_LOCK.lock().unwrap();
+        arm();
+        reset();
+        let before = snapshot();
+        {
+            let _outer = span(HostPhase::Driver);
+            {
+                let _inner = span(HostPhase::Translate);
+                let v = vec![0u8; 64];
+                std::hint::black_box(&v);
+            }
+            let v = vec![0u8; 64];
+            std::hint::black_box(&v);
+        }
+        let after = snapshot();
+        disarm();
+        let d = after.delta(&before);
+        assert_eq!(d.phases[HostPhase::Driver as usize].spans, 1);
+        assert_eq!(d.phases[HostPhase::Translate as usize].spans, 1);
+        assert!(d.phases[HostPhase::Translate as usize].allocs >= 1);
+        assert!(
+            d.phases[HostPhase::Driver as usize].allocs >= 1,
+            "after the inner span drops, allocations credit Driver again"
+        );
+    }
+
+    #[test]
+    fn leaf_crate_hooks_report_here_when_armed() {
+        let _g = ARM_LOCK.lock().unwrap();
+        arm();
+        reset();
+        let before = snapshot();
+        {
+            let _s = ppc_mmu::host::span(ppc_mmu::host::PHASE_TRANSLATE);
+        }
+        {
+            let _s = ppc_cache::host::span(ppc_cache::host::PHASE_CACHE);
+        }
+        let after = snapshot();
+        disarm();
+        let d = after.delta(&before);
+        assert_eq!(d.phases[HostPhase::Translate as usize].spans, 1);
+        assert_eq!(d.phases[HostPhase::Cache as usize].spans, 1);
+    }
+
+    #[test]
+    fn peak_live_tracks_a_big_transient() {
+        let _g = ARM_LOCK.lock().unwrap();
+        arm();
+        reset();
+        reset_peak();
+        let before = snapshot();
+        {
+            let v = vec![0u8; 1 << 20];
+            std::hint::black_box(&v);
+        }
+        let after = snapshot();
+        disarm();
+        let d = after.delta(&before);
+        assert!(
+            d.peak_live_bytes >= (1 << 20),
+            "peak {} must cover the 1 MiB transient",
+            d.peak_live_bytes
+        );
+        assert!(d.live_bytes < (1 << 20), "the transient was freed");
+    }
+
+    #[test]
+    fn est_total_ns_scales_mean_by_span_count() {
+        let c = PhaseCounters {
+            spans: 100,
+            sampled_ns: 5_000,
+            samples: 10,
+            ..Default::default()
+        };
+        assert_eq!(c.est_total_ns(), 50_000);
+        assert_eq!(PhaseCounters::default().est_total_ns(), 0);
+    }
+}

@@ -8,6 +8,7 @@ use ppc_mmu::translate::{AccessType, Translation};
 
 use crate::errors::KResult;
 use crate::fs::File;
+use crate::hostprof;
 use crate::inject::FaultInjector;
 use crate::kconfig::{HandlerStyle, KernelConfig};
 use crate::layout::{
@@ -172,10 +173,10 @@ pub struct Kernel {
     pub(crate) reclaim_scan_credit: u32,
     /// Reference counts for frames shared copy-on-write between address
     /// spaces (absent = exclusively owned).
-    pub(crate) shared_frames: std::collections::HashMap<PhysAddr, u32>,
+    pub(crate) shared_frames: crate::fixed_hash::DetHashMap<PhysAddr, u32>,
     /// Mapping counts for page-cache frames currently mapped into some
     /// address space (absent = unmapped, hence evictable under pressure).
-    pub(crate) file_map_refs: std::collections::HashMap<PhysAddr, u32>,
+    pub(crate) file_map_refs: crate::fixed_hash::DetHashMap<PhysAddr, u32>,
     /// The seeded fault injector, when [`KernelConfig::fault_injection`] is
     /// set.
     pub(crate) injector: Option<FaultInjector>,
@@ -282,8 +283,8 @@ impl Kernel {
             next_pid: 1,
             in_reload: false,
             reclaim_scan_credit: 0,
-            shared_frames: std::collections::HashMap::new(),
-            file_map_refs: std::collections::HashMap::new(),
+            shared_frames: Default::default(),
+            file_map_refs: Default::default(),
             injector: cfg.fault_injection.map(FaultInjector::new),
             tracer: if cfg.trace {
                 Some(Box::new(Tracer::with_capacity(
@@ -344,6 +345,7 @@ impl Kernel {
     #[inline]
     pub(crate) fn t_event(&mut self, event: impl FnOnce() -> TraceEvent) {
         if self.tracer.is_some() {
+            let _host = hostprof::span(hostprof::HostPhase::TraceWrite);
             let rec = TraceRecord {
                 cycle: self.machine.cycles,
                 pid: self.current_pid(),
@@ -535,6 +537,7 @@ impl Kernel {
         if !self.telemetry.as_ref().is_some_and(|t| t.due(now)) {
             return;
         }
+        let _host = hostprof::span(hostprof::HostPhase::Telemetry);
         let readings = self.mmu_readings();
         let stats = self.stats;
         if let Some(t) = self.telemetry.as_mut() {
@@ -570,6 +573,7 @@ impl Kernel {
         if !due {
             return;
         }
+        let _host = hostprof::span(hostprof::HostPhase::Telemetry);
         let readings = self.mmu_readings();
         let stats = self.stats;
         if let Some(t) = self.telemetry.as_mut() {

@@ -46,8 +46,10 @@
 pub mod check;
 pub mod errors;
 pub mod fault;
+pub mod fixed_hash;
 pub mod flush;
 pub mod fs;
+pub mod hostprof;
 pub mod idle;
 pub mod inject;
 pub mod kconfig;
@@ -85,6 +87,7 @@ pub mod vsid;
 
 pub use check::{CheckConfig, CheckState};
 pub use errors::{KResult, KernelError, Signal};
+pub use hostprof::{HostPhase, HostSnapshot, PhaseCounters};
 pub use inject::{FaultInjection, FaultInjector};
 pub use kconfig::{HandlerStyle, KernelConfig, PageClearing, PmuConfig, VsidPolicy};
 pub use kernel::Kernel;

@@ -19,9 +19,9 @@
 //! is precisely the stale-translation bug class lazy flushing risks, and it
 //! is caught at the exact access that observes the stale entry.
 
-use std::collections::HashMap;
-
 use ppc_mmu::addr::Vsid;
+
+use crate::fixed_hash::DetHashMap;
 
 /// What the oracle remembers about one legal translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +37,7 @@ pub struct ShadowEntry {
 /// The flat shadow model. One entry per legal `(vsid, virtual page)`.
 #[derive(Debug, Clone, Default)]
 pub struct ShadowMm {
-    map: HashMap<(u32, u32), ShadowEntry>,
+    map: DetHashMap<(u32, u32), ShadowEntry>,
 }
 
 impl ShadowMm {

@@ -1,8 +1,8 @@
 //! VSID allocation and liveness tracking.
 
-use std::collections::HashSet;
-
 use ppc_mmu::addr::Vsid;
+
+use crate::fixed_hash::DetHashSet;
 
 use crate::kconfig::VsidPolicy;
 use crate::layout::USER_SEGMENTS;
@@ -46,7 +46,7 @@ pub struct VsidStats {
 pub struct VsidAllocator {
     policy: VsidPolicy,
     next_ctx: u32,
-    live: HashSet<u32>,
+    live: DetHashSet<u32>,
     /// Statistics.
     pub stats: VsidStats,
 }
@@ -57,7 +57,7 @@ impl VsidAllocator {
         Self {
             policy,
             next_ctx: 1,
-            live: HashSet::new(),
+            live: DetHashSet::default(),
             stats: VsidStats::default(),
         }
     }

@@ -135,6 +135,7 @@ impl MemSystem {
     /// Fetches an instruction from `pa`. `cached = false` models
     /// cache-inhibited (e.g. I/O space or an uncached idle loop).
     pub fn insn_fetch(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
+        let _host = crate::host::span(crate::host::PHASE_CACHE);
         if !cached {
             self.icache.access_inhibited();
             return self.bus.read_beat;
@@ -149,6 +150,7 @@ impl MemSystem {
 
     /// Loads a word from `pa` through the data cache.
     pub fn data_read(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
+        let _host = crate::host::span(crate::host::PHASE_CACHE);
         if !cached {
             self.dcache.access_inhibited();
             return self.bus.read_beat;
@@ -167,6 +169,7 @@ impl MemSystem {
 
     /// Stores a word to `pa` through the data cache.
     pub fn data_write(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
+        let _host = crate::host::span(crate::host::PHASE_CACHE);
         if !cached {
             self.dcache.access_inhibited();
             return self.bus.write_beat;

@@ -1,0 +1,107 @@
+//! Host-profiler hook points (see `kernel-sim/src/hostprof.rs`).
+//!
+//! Mirror of `ppc_mmu::host` for the cache crate: this crate is a
+//! dependency leaf, so the profiler installs an enter/exit function-pointer
+//! pair here and the [`MemSystem`] entry points wrap themselves in a RAII
+//! [`HostSpan`]. Dormant cost is one relaxed atomic load per access.
+//!
+//! [`PHASE_CACHE`] re-declares the shared phase id (this crate cannot see
+//! `ppc_mmu::host`); a `kernel-sim` test pins both namespaces to the same
+//! values.
+//!
+//! [`MemSystem`]: crate::hierarchy::MemSystem
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Phase id: cache/memory-hierarchy accesses.
+pub const PHASE_CACHE: u8 = 1;
+
+/// Called on span entry with the phase id; returns `(previous_phase,
+/// start_ns)` where `start_ns == u64::MAX` means "not timed".
+pub type EnterFn = fn(u8) -> (u8, u64);
+/// Called on span exit with `(previous_phase, phase, start_ns)`.
+pub type ExitFn = fn(u8, u8, u64);
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HOOKS: OnceLock<(EnterFn, ExitFn)> = OnceLock::new();
+
+/// Installs the profiler hooks and enables the guards.
+pub fn install(enter: EnterFn, exit: ExitFn) {
+    let _ = HOOKS.set((enter, exit));
+    ENABLED.store(true, Relaxed);
+}
+
+/// Disables the guards (the installed pair stays, dormant).
+pub fn disable() {
+    ENABLED.store(false, Relaxed);
+}
+
+/// True when a profiler is installed and armed.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// RAII phase guard. Construct with [`span`]; the drop reports the exit.
+pub struct HostSpan {
+    prev: u8,
+    phase: u8,
+    start_ns: u64,
+    active: bool,
+}
+
+/// Opens a phase span if a profiler is armed; otherwise returns an inert
+/// guard at the cost of one relaxed load.
+#[inline]
+pub fn span(phase: u8) -> HostSpan {
+    if !ENABLED.load(Relaxed) {
+        return HostSpan {
+            prev: 0,
+            phase: 0,
+            start_ns: 0,
+            active: false,
+        };
+    }
+    match HOOKS.get() {
+        Some((enter, _)) => {
+            let (prev, start_ns) = enter(phase);
+            HostSpan {
+                prev,
+                phase,
+                start_ns,
+                active: true,
+            }
+        }
+        None => HostSpan {
+            prev: 0,
+            phase: 0,
+            start_ns: 0,
+            active: false,
+        },
+    }
+}
+
+impl Drop for HostSpan {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            if let Some((_, exit)) = HOOKS.get() {
+                exit(self.prev, self.phase, self.start_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_span_is_inert() {
+        let s = span(PHASE_CACHE);
+        assert!(!s.active);
+        drop(s);
+        assert!(!enabled());
+    }
+}

@@ -35,6 +35,7 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod host;
 pub mod stats;
 
 pub use bus::Bus;

@@ -96,6 +96,9 @@ impl Machine {
 
     /// Adds raw cycles (pipeline work not tied to a memory reference).
     pub fn charge(&mut self, cycles: Cycles) {
+        // Host-profiler phase hook: the charge phase lives in ppc-mmu's host
+        // module (the lowest crate both this one and the profiler can see).
+        let _host = ppc_mmu::host::span(ppc_mmu::host::PHASE_CHARGE);
         self.cycles += cycles;
     }
 

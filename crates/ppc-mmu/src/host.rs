@@ -1,0 +1,121 @@
+//! Host-profiler hook points (see `kernel-sim/src/hostprof.rs`).
+//!
+//! This crate sits at the bottom of the dependency graph, so it cannot call
+//! the profiler directly. Instead it exposes two registerable function
+//! pointers — an enter/exit pair — and a RAII [`HostSpan`] guard around the
+//! hot entry points ([`Mmu::translate`], the htab probe/insert/rehash paths).
+//! `kernel-sim`'s `hostprof` installs the pair when it is *armed*; dormant,
+//! every guard is a single relaxed atomic load and no call.
+//!
+//! The phase-id namespace is shared across the whole stack. This module
+//! defines the ids this crate (and `ppc-machine`, which depends on it)
+//! reports; `ppc-cache` re-declares its own id and `kernel-sim` owns the
+//! full taxonomy plus a test pinning all the constants to the same values.
+//!
+//! Everything here is plain data — no `unsafe`, no allocation, no
+//! timestamps. The installed hooks do all of that on the other side.
+//!
+//! [`Mmu::translate`]: crate::translate::Mmu::translate
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Phase id: hardware address translation (BAT/TLB lookup, htab probe,
+/// insert, rehash).
+pub const PHASE_TRANSLATE: u8 = 0;
+/// Phase id: cycle charging on the machine ledger (owned by `ppc-machine`,
+/// declared here because this is the lowest crate both it and the profiler
+/// can see).
+pub const PHASE_CHARGE: u8 = 2;
+
+/// Called on span entry with the phase id; returns `(previous_phase,
+/// start_ns)` where `start_ns == u64::MAX` means "this span is not timed"
+/// (the profiler stride-samples timestamps to keep hot paths honest).
+pub type EnterFn = fn(u8) -> (u8, u64);
+/// Called on span exit with `(previous_phase, phase, start_ns)`.
+pub type ExitFn = fn(u8, u8, u64);
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HOOKS: OnceLock<(EnterFn, ExitFn)> = OnceLock::new();
+
+/// Installs the profiler hooks and enables the guards. The pair can only be
+/// installed once per process (`OnceLock`); re-arming just re-enables it.
+pub fn install(enter: EnterFn, exit: ExitFn) {
+    let _ = HOOKS.set((enter, exit));
+    ENABLED.store(true, Relaxed);
+}
+
+/// Disables the guards (the installed pair stays, dormant).
+pub fn disable() {
+    ENABLED.store(false, Relaxed);
+}
+
+/// True when a profiler is installed and armed.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// RAII phase guard. Construct with [`span`]; the drop reports the exit.
+pub struct HostSpan {
+    prev: u8,
+    phase: u8,
+    start_ns: u64,
+    active: bool,
+}
+
+/// Opens a phase span if a profiler is armed; otherwise returns an inert
+/// guard at the cost of one relaxed load.
+#[inline]
+pub fn span(phase: u8) -> HostSpan {
+    if !ENABLED.load(Relaxed) {
+        return HostSpan {
+            prev: 0,
+            phase: 0,
+            start_ns: 0,
+            active: false,
+        };
+    }
+    match HOOKS.get() {
+        Some((enter, _)) => {
+            let (prev, start_ns) = enter(phase);
+            HostSpan {
+                prev,
+                phase,
+                start_ns,
+                active: true,
+            }
+        }
+        None => HostSpan {
+            prev: 0,
+            phase: 0,
+            start_ns: 0,
+            active: false,
+        },
+    }
+}
+
+impl Drop for HostSpan {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            if let Some((_, exit)) = HOOKS.get() {
+                exit(self.prev, self.phase, self.start_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_span_is_inert() {
+        // No profiler installed: the guard must be a no-op.
+        let s = span(PHASE_TRANSLATE);
+        assert!(!s.active);
+        drop(s);
+        assert!(!enabled());
+    }
+}

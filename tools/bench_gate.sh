@@ -1,107 +1,29 @@
 #!/usr/bin/env bash
-# CI gate for performance regressions: regenerate the benchmark baseline at
-# quick depth and compare each workload's headline cycle count against the
-# committed BENCH_PR3.json. The simulator is deterministic, so any drift is
-# a real behavior change; more than 2% slower fails the gate. (Speedups and
-# small modeling shifts pass — refresh the baseline deliberately with
-#   cargo run --release -p bench --bin repro -- bench --json BENCH_PR3.json
+# CI gate for performance regressions: regenerate the tune baseline at quick
+# depth and compare every per-machine row against the committed artifact
+# (newest baseline by default; pass an alternative path as $1). The
+# simulator is deterministic, so any drift is a real behavior change; more
+# than 2% slower fails the gate. (Speedups and small modeling shifts pass —
+# refresh the baseline deliberately with
+#   cargo run --release -p bench --bin repro -- tune --depth quick --json BENCH_PR5.json
 # and commit the diff.)
+#
+# Cycle coverage for the full machine × config × workload grid lives in
+# tools/matrix_gate.sh; this gate pins the tune descent's endpoints (static
+# and tuned cycles per machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="BENCH_PR3.json"
+baseline="${1:-BENCH_PR5.json}"
 if [ ! -f "$baseline" ]; then
-    echo "FAIL: $baseline is not committed" >&2
+    echo "FAIL: baseline $baseline is not committed" >&2
     exit 1
 fi
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-cargo run --release -p bench --bin repro -- bench --depth quick \
-    --json "$out/bench.json" >/dev/null
-
-# Pulls the headline cycle count for one workload out of a bench JSON.
-cycles_of() { # file workload
-    grep -o "\"$2\": {\"cycles\": [0-9]*" "$1" | grep -o '[0-9]*$'
-}
-
 fail=0
-for wl in compile fault_storm trace_ref; do
-    old="$(cycles_of "$baseline" "$wl" || true)"
-    new="$(cycles_of "$out/bench.json" "$wl" || true)"
-    if [ -z "$old" ] || [ -z "$new" ]; then
-        echo "FAIL: workload $wl missing from baseline or fresh run" >&2
-        fail=1
-        continue
-    fi
-    # >2% regression: new * 100 > old * 102 (integer math, no bc needed).
-    if [ "$((new * 100))" -gt "$((old * 102))" ]; then
-        echo "FAIL: $wl regressed ${old} -> ${new} cycles (>2%)" >&2
-        fail=1
-    else
-        echo "bench gate: $wl ${old} -> ${new} cycles"
-    fi
-done
-
-# Second pass: the multi-machine bench matrix. Every machine × config ×
-# workload cell of the committed BENCH_PR4.json is compared against a fresh
-# run; any cell more than 2% slower fails. This covers every CPU model the
-# paper measures (603 software-reload, 603 no-htab, 604/133, 604/200), not
-# just the 604-133 the headline baseline runs on. Refresh deliberately with
-#   cargo run --release -p bench --bin repro -- matrix --depth quick --json BENCH_PR4.json
-matrix_baseline="BENCH_PR4.json"
-if [ ! -f "$matrix_baseline" ]; then
-    echo "FAIL: $matrix_baseline is not committed" >&2
-    exit 1
-fi
-
-cargo run --release -p bench --bin repro -- matrix --depth quick \
-    --json "$out/matrix.json" >/dev/null
-
-# Pulls "cell cycles" pairs out of a matrix JSON (one cell per line).
-cells_of() { # file
-    grep -o '"cell": "[^"]*", "machine": "[^"]*", "config": "[^"]*", "workload": "[^"]*", "cycles": [0-9]*' "$1" \
-        | sed 's/"cell": "\([^"]*\)".*"cycles": \([0-9]*\)/\1 \2/'
-}
-
-cells_of "$matrix_baseline" > "$out/cells.old"
-cells_of "$out/matrix.json" > "$out/cells.new"
-
-ncells="$(wc -l < "$out/cells.old")"
-if [ "$ncells" -lt 1 ]; then
-    echo "FAIL: no cells parsed from $matrix_baseline" >&2
-    exit 1
-fi
-for m in 603-swload 603-nohtab 604-133 604-200; do
-    if ! grep -q "^$m/" "$out/cells.old"; then
-        echo "FAIL: baseline matrix has no cells for machine $m" >&2
-        fail=1
-    fi
-done
-
-while read -r cell old; do
-    new="$(awk -v c="$cell" '$1 == c {print $2}' "$out/cells.new")"
-    if [ -z "$new" ]; then
-        echo "FAIL: matrix cell $cell missing from fresh run" >&2
-        fail=1
-        continue
-    fi
-    if [ "$((new * 100))" -gt "$((old * 102))" ]; then
-        echo "FAIL: matrix cell $cell regressed ${old} -> ${new} cycles (>2%)" >&2
-        fail=1
-    fi
-done < "$out/cells.old"
-
-# Third pass: the tune baseline. BENCH_PR5.json pins the per-machine
-# static and tuned cycle counts of `repro tune` on the fault storm; more
-# than 2% slower on either side fails. Refresh deliberately with
-#   cargo run --release -p bench --bin repro -- tune --depth quick --json BENCH_PR5.json
-tune_baseline="BENCH_PR5.json"
-if [ ! -f "$tune_baseline" ]; then
-    echo "FAIL: $tune_baseline is not committed" >&2
-    exit 1
-fi
 
 cargo run --release -p bench --bin repro -- tune --depth quick \
     --json "$out/tune.json" >/dev/null
@@ -112,10 +34,10 @@ tune_rows_of() { # file
         | sed 's/"machine": "\([^"]*\)", "static_cycles": \([0-9]*\), "tuned_cycles": \([0-9]*\)/\1 \2 \3/'
 }
 
-tune_rows_of "$tune_baseline" > "$out/tune.old"
+tune_rows_of "$baseline" > "$out/tune.old"
 tune_rows_of "$out/tune.json" > "$out/tune.new"
 if [ "$(wc -l < "$out/tune.old")" -ne 4 ]; then
-    echo "FAIL: expected 4 machine rows in $tune_baseline" >&2
+    echo "FAIL: expected 4 machine rows in $baseline" >&2
     exit 1
 fi
 while read -r machine old_static old_tuned; do
@@ -134,9 +56,10 @@ while read -r machine old_static old_tuned; do
         echo "FAIL: tuned cycles on $machine regressed ${old_tuned} -> ${new_tuned} (>2%)" >&2
         fail=1
     fi
+    echo "bench gate: $machine static ${old_static} -> ${new_static}, tuned ${old_tuned} -> ${new_tuned}"
 done < "$out/tune.old"
 
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench gate OK: no workload regressed more than 2% ($ncells matrix cells and 4 tune rows checked)"
+echo "bench gate OK: no tune row of $baseline regressed more than 2%"

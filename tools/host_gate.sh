@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# CI gate for the host-side observability layer (`hostprof` + `repro
+# hostbench`):
+#
+# 1. CLI contract: `repro --help` exits 0 and enumerates every registered
+#    subcommand and experiment, so the usage text cannot silently rot as
+#    subcommands are added.
+# 2. Determinism: two hostbench runs in separate processes are
+#    byte-identical once the documented `"timing"` section (the only
+#    wall-clock-dependent part of the artifact) is stripped.
+# 3. Allocation gate (HARD): allocs per 1k simulated cycles, per basket
+#    workload, may not regress more than 5% against the committed
+#    HOST_BENCH.json baseline. Hot-loop allocation creep fails CI.
+# 4. Throughput (SOFT): the sim-cycles-per-host-second headline is printed
+#    on every run so the log carries a speed history; a drop below 70% of
+#    the committed baseline prints a warning but never fails, because CI
+#    machines are shared and wall-clock is not reproducible.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-HOST_BENCH.json}"
+if [ ! -f "$baseline" ]; then
+    echo "FAIL: baseline artifact $baseline not found" >&2
+    exit 1
+fi
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+fail=0
+
+# --- 1. the usage text enumerates everything ---------------------------------
+if ! cargo run -q --release -p bench --bin repro -- --help > "$out/help.txt"; then
+    echo "FAIL: repro --help exited nonzero" >&2
+    fail=1
+fi
+for sub in bench matrix tune report diff chaos perf hostbench; do
+    if ! grep -q "^  $sub " "$out/help.txt"; then
+        echo "FAIL: repro --help does not list the '$sub' subcommand" >&2
+        fail=1
+    fi
+done
+for exp in table1 table2 pressure; do
+    if ! grep -q "$exp" "$out/help.txt"; then
+        echo "FAIL: repro --help does not list the '$exp' experiment" >&2
+        fail=1
+    fi
+done
+
+# --- 2. cross-process masked determinism -------------------------------------
+cargo run -q --release -p bench --bin repro -- hostbench --iters 1 \
+    --json "$out/hb-a.json" > "$out/run-a.txt"
+cargo run -q --release -p bench --bin repro -- hostbench --iters 1 \
+    --json "$out/hb-b.json" > /dev/null
+sed '/"timing":/,$d' "$out/hb-a.json" > "$out/hb-a.det"
+sed '/"timing":/,$d' "$out/hb-b.json" > "$out/hb-b.det"
+if ! cmp -s "$out/hb-a.det" "$out/hb-b.det"; then
+    echo "FAIL: hostbench deterministic sections differ across processes" >&2
+    diff "$out/hb-a.det" "$out/hb-b.det" | head -5 >&2 || true
+    fail=1
+fi
+if ! grep -q '"schema": "mmu-tricks-hostbench-v1"' "$out/hb-a.json"; then
+    echo "FAIL: hostbench artifact is missing its schema header" >&2
+    fail=1
+fi
+
+# --- 3. HARD allocation gate vs the committed baseline -----------------------
+# Allocation counts are deterministic (gate 2 proves it), so any increase
+# is a real code change, not noise. Budget: 5%.
+allocs_per_1k() { # file workload -> milli-allocs per 1k sim cycles
+    sed -n "s/.*\"$2\": {.*\"allocs_per_1k_cycles_milli\": \([0-9]*\).*/\1/p" \
+        "$1" | head -1
+}
+for w in compile fault_storm matrix_row chaos_fleet; do
+    old=$(allocs_per_1k "$baseline" "$w")
+    new=$(allocs_per_1k "$out/hb-a.json" "$w")
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "FAIL: could not extract allocs_per_1k_cycles_milli for $w" >&2
+        fail=1
+        continue
+    fi
+    if [ $((new * 100)) -gt $((old * 105)) ]; then
+        echo "FAIL: $w allocates more per simulated cycle than the baseline:" \
+             "$new milli-allocs/1k-cycles vs $old (+5% budget)" >&2
+        fail=1
+    fi
+done
+
+# --- 4. SOFT throughput headline ---------------------------------------------
+cps_of() { # first sim_cycles_per_host_sec in the file = the headline
+    sed -n 's/.*"sim_cycles_per_host_sec": \([0-9]*\).*/\1/p' "$1" | head -1
+}
+base_cps=$(cps_of "$baseline")
+new_cps=$(cps_of "$out/hb-a.json")
+echo "host_gate headline: $new_cps sim-cycles/host-sec (baseline $base_cps)"
+if [ -n "$base_cps" ] && [ -n "$new_cps" ] \
+        && [ $((new_cps * 10)) -lt $((base_cps * 7)) ]; then
+    echo "WARN: throughput below 70% of baseline ($new_cps vs $base_cps);" \
+         "not failing — wall-clock is machine-dependent" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "host gate OK: usage complete, artifact deterministic, allocation budget held"
