@@ -27,6 +27,7 @@
 //! repro perf annotate [--in <path>]
 //! repro perf diff A.perf B.perf [--folded <path>] # profile/flamegraph diff
 //! repro hostbench [--iters N] [--json <path>]     # simulator speed/alloc baseline
+//! repro tail [--json <path>]                      # p99 exemplars + causal attribution
 //! ```
 //!
 //! `perf record` samples the workload with the modeled 604 PMU and writes a
@@ -81,6 +82,7 @@ fn main() {
         "diff" => return diff_main(&args, &wanted),
         "report" => return report_main(depth),
         "hostbench" => return hostbench_main(&args, depth),
+        "tail" => return tail_main(&args, depth),
         _ => {}
     }
     let run_all = wanted.contains(&"all");
@@ -418,6 +420,22 @@ fn hostbench_main(args: &[String], depth: Depth) {
     }
 }
 
+/// `repro tail`: p99 forensics over the traced reference run — exemplar
+/// percentiles per latency path, the ranked causal attribution, and the
+/// retained exemplar dumps. `--json` writes the `mmu-tricks-tail-v1`
+/// artifact, which `repro diff` compares like any other run report.
+fn tail_main(args: &[String], depth: Depth) {
+    let (report, tables) = mmu_tricks::tail::tail_report(depth);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &report.to_json()),
+        None => {
+            for t in &tables {
+                println!("{}", t.render());
+            }
+        }
+    }
+}
+
 fn write_artifact(path: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("wrote {path}"),
@@ -476,8 +494,9 @@ fn usage_text() -> String {
     let _ = writeln!(s, "  repro perf diff <a.perf> <b.perf> [--folded <path>]");
     let _ = writeln!(
         s,
-        "  repro hostbench [--depth quick|full] [--iters N] [--json <path>]\n"
+        "  repro hostbench [--depth quick|full] [--iters N] [--json <path>]"
     );
+    let _ = writeln!(s, "  repro tail [--depth quick|full] [--json <path>]\n");
     let _ = writeln!(s, "experiments:");
     for (id, desc) in EXPERIMENTS {
         let _ = writeln!(s, "  {id:<16} {desc}");
@@ -631,6 +650,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "ematrix" => emit(&ex::exp_matrix(depth).1, style, out),
         "etune" => emit(&ex::exp_tune(depth).1, style, out),
         "echeck" => emit(&ex::exp_check(depth).1, style, out),
+        "etail" => emit(&ex::exp_tail(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

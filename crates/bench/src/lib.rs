@@ -78,6 +78,10 @@ pub const SUBCOMMANDS: &[(&str, &str)] = &[
         "hostbench",
         "simulator speed + allocation baseline (mmu-tricks-hostbench-v1)",
     ),
+    (
+        "tail",
+        "p99 exemplar capture + causal attribution (mmu-tricks-tail-v1)",
+    ),
 ];
 
 /// Any `--flag` the harness does not know about. A typo'd flag must be an
@@ -208,6 +212,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "echeck",
         "E-CHECK: chaos fuzzing survives the shadow-MM oracle and invariants",
+    ),
+    (
+        "etail",
+        "E-TAIL: planted PTEG-saturation regression wins tail attribution",
     ),
 ];
 

@@ -180,6 +180,13 @@ pub struct FlatReport {
     /// diff — a disagreement here means one run was *observed* differently,
     /// and any delta should be re-recorded under one observer setting.
     pub check: String,
+    /// `tail` header ("" when absent). Artifacts recorded with tail
+    /// forensics armed declare the arming mode; like `check`, tail-armed
+    /// and dormant runs are cycle-identical by construction, but the
+    /// header still refuses the diff — pre-tail artifacts carry no header
+    /// at all and flatten to `""`, so they stay diffable against each
+    /// other.
+    pub tail: String,
     /// Every numeric leaf: dotted path → value.
     pub numbers: BTreeMap<String, i64>,
 }
@@ -196,6 +203,7 @@ fn flatten(prefix: &str, v: &Json, out: &mut FlatReport) {
             "workload" => out.workload = s.clone(),
             "config" => out.config = s.clone(),
             "check" => out.check = s.clone(),
+            "tail" => out.tail = s.clone(),
             _ => {}
         },
         Json::Arr(items) => {
@@ -287,6 +295,7 @@ pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String
         ("machine", &a.machine, &b.machine),
         ("workload", &a.workload, &b.workload),
         ("check", &a.check, &b.check),
+        ("tail", &a.tail, &b.tail),
     ])?;
     let mut keys: Vec<&String> = a.numbers.keys().chain(b.numbers.keys()).collect();
     keys.sort();
@@ -615,6 +624,35 @@ mod tests {
         let c = b.clone();
         assert!(diff_reports(&b, &c).is_ok());
         assert!(diff_reports(&a, &a.clone()).is_ok());
+    }
+
+    #[test]
+    fn tail_header_mismatch_is_refused() {
+        // An artifact recorded with tail forensics armed declares it; it
+        // must not be diffed against a dormant recording.
+        let a = parse_report(&doc("opt", 100, 5)).unwrap();
+        let mut b = a.clone();
+        b.tail = "auto".into();
+        let err = diff_reports(&a, &b).unwrap_err();
+        assert!(err.contains("tail mismatch"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        let err = diff_reports(&b, &a).unwrap_err();
+        assert!(err.contains("tail mismatch"), "{err}");
+        // Both armed the same way (or both dormant) diff fine.
+        assert!(diff_reports(&b, &b.clone()).is_ok());
+        assert!(diff_reports(&a, &a.clone()).is_ok());
+    }
+
+    #[test]
+    fn tail_header_parses_and_old_artifacts_default_to_empty() {
+        let with = "{\"schema\": \"mmu-tricks-tail-v1\", \"tail\": \"auto\", \"n\": 1}";
+        let r = parse_report(with).unwrap();
+        assert_eq!(r.tail, "auto");
+        // Every pre-tail artifact (BENCH_PR*.json, matrix, metrics) has no
+        // header at all: it must parse, default to "", and stay diffable.
+        let without = parse_report(&doc("opt", 1, 1)).unwrap();
+        assert_eq!(without.tail, "");
+        assert!(diff_reports(&without, &without.clone()).is_ok());
     }
 
     #[test]

@@ -44,8 +44,25 @@ pub struct LatencySummary {
     pub p50: u64,
     /// 90th percentile (cycles).
     pub p90: u64,
-    /// 99th percentile (cycles).
+    /// 99th percentile (cycles). A log2-bucket **upper bound** — can
+    /// overstate the true p99 by up to 2×.
     pub p99: u64,
+    /// Exact 99th percentile (cycles), read from the tail-forensics
+    /// exemplar reservoir ([`kernel_sim::tail`]) when the 1% tail fits in
+    /// the retained samples; falls back to the bucket bound `p99` when it
+    /// does not (so `p99_exact <= p99` always).
+    pub p99_exact: u64,
+}
+
+/// The exact p99 from a slowest-first exemplar reservoir: the sample at
+/// rank `ceil(0.99 * count)` from the bottom, when the reservoir reaches
+/// down that far; `bucket_bound` otherwise.
+fn exact_p99(count: u64, bucket_bound: u64, exemplars: &[kernel_sim::TailExemplar]) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let idx = (count - (count * 99).div_ceil(100)) as usize;
+    exemplars.get(idx).map_or(bucket_bound, |e| e.latency)
 }
 
 /// Everything the traced reference run produced, ready for export.
@@ -134,8 +151,17 @@ impl TraceArtifacts {
         for (i, l) in self.latency.iter().enumerate() {
             s.push_str(&format!(
                 "    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \
-                 \"mean_millicycles\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
-                l.path, l.count, l.min, l.max, l.mean_millicycles, l.p50, l.p90, l.p99
+                 \"mean_millicycles\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                 \"p99_exact\": {}}}",
+                l.path,
+                l.count,
+                l.min,
+                l.max,
+                l.mean_millicycles,
+                l.p50,
+                l.p90,
+                l.p99,
+                l.p99_exact
             ));
             s.push_str(if i + 1 < self.latency.len() { ",\n" } else { "\n" });
         }
@@ -267,15 +293,19 @@ pub fn reference_workload(k: &mut Kernel, depth: Depth) {
 /// artifacts plus rendered tables: subsystem self-time and latency
 /// percentiles.
 ///
-/// The traced run also carries the epoch telemetry sampler, so the
-/// `overhead_cycles == 0` gate covers the whole observability stack: a run
-/// with tracing *and* telemetry must cost exactly what a bare run costs.
+/// The traced run also carries the epoch telemetry sampler *and* the
+/// tail-forensics capture, so the `overhead_cycles == 0` gate covers the
+/// whole observability stack: a run with tracing, telemetry and tail
+/// capture must cost exactly what a bare run costs.
 pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
     let run = |observe: bool| -> Kernel {
         let mut cfg = KernelConfig::optimized();
         cfg.trace = observe;
         if observe {
             cfg.telemetry = Some(TelemetryConfig::default_epochs());
+            // Capture-all with a deep reservoir so the exact p99 is read
+            // off the retained tail instead of a bucket bound.
+            cfg.tail = Some(crate::tail::percentile_tail());
         }
         let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
         reference_workload(&mut k, depth);
@@ -300,6 +330,7 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
         .iter()
         .map(|&s| (s.name(), t.prof.self_cycles(s)))
         .collect();
+    let tail_state = on.tail.as_ref().expect("tail capture enabled");
     let latency: Vec<LatencySummary> = LatencyPath::ALL
         .iter()
         .map(|&p| {
@@ -314,6 +345,7 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
                 p50,
                 p90,
                 p99,
+                p99_exact: exact_p99(h.count(), p99, tail_state.exemplars(p)),
             }
         })
         .collect();
@@ -364,7 +396,8 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
     ]);
 
     let mut lat = Table::new(
-        "Latency percentiles (cycles) per instrumented path",
+        "Latency percentiles (cycles) per instrumented path \
+         (p99 is the bucket bound, p99_exact the captured sample)",
         vec![
             "path".into(),
             "count".into(),
@@ -372,6 +405,7 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
             "p50".into(),
             "p90".into(),
             "p99".into(),
+            "p99_exact".into(),
             "max".into(),
         ],
     );
@@ -383,6 +417,7 @@ pub fn trace_artifacts(depth: Depth) -> (TraceArtifacts, Vec<Table>) {
             format!("{}", l.p50),
             format!("{}", l.p90),
             format!("{}", l.p99),
+            format!("{}", l.p99_exact),
             format!("{}", l.max),
         ]);
     }
@@ -412,6 +447,15 @@ mod tests {
         for l in &a.latency {
             assert!(l.count > 0, "{} has no samples", l.path);
             assert!(l.p50 <= l.p90 && l.p90 <= l.p99, "{}", l.path);
+            assert!(
+                l.p99_exact > 0 && l.p99_exact <= l.p99,
+                "{}: exact p99 {} must be a real sample under the bucket \
+                 bound {}",
+                l.path,
+                l.p99_exact,
+                l.p99
+            );
+            assert!(l.p99_exact <= l.max, "{}", l.path);
         }
         assert!(a.pteg_inserts.iter().any(|&n| n > 0));
         assert_eq!(tables.len(), 3);
@@ -434,6 +478,7 @@ mod tests {
             "\"tlb_reload\"",
             "\"page_fault\"",
             "\"signal_delivery\"",
+            "\"p99_exact\"",
             "\"stats\"",
             "\"pteg\"",
             "\"ring\"",

@@ -25,12 +25,14 @@
 //! | E-MATRIX | [`ematrix::exp_matrix`] |
 //! | E-TUNE | [`etune::exp_tune`] |
 //! | E-CHECK | [`echeck::exp_check`] |
+//! | E-TAIL | [`etail::exp_tail`] |
 
 pub mod ablate;
 pub mod artifacts;
 pub mod cache;
 pub mod echeck;
 pub mod ematrix;
+pub mod etail;
 pub mod etune;
 pub mod extended;
 pub mod fig1;
@@ -49,6 +51,7 @@ pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceAr
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
 pub use echeck::{exp_check, CheckGateResult};
 pub use ematrix::{exp_matrix, MatrixResult, OptimizationRow};
+pub use etail::{exp_tail, TailGateResult};
 pub use etune::{exp_tune, TuneGateResult};
 pub use extended::extended_suite;
 pub use fig1::translation_walkthrough;

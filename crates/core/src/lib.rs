@@ -37,6 +37,7 @@ pub mod hostbench;
 pub mod matrix;
 pub mod perf;
 pub mod tables;
+pub mod tail;
 pub mod tune;
 
 pub use kernel_sim::{

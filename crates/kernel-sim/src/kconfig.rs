@@ -249,6 +249,15 @@ pub struct KernelConfig {
     /// produced under checking carry their own `check` header instead, and
     /// the differ refuses to compare across it.
     pub check: Option<crate::check::CheckConfig>,
+    /// Tail-latency forensics ([`crate::tail`]): capture slow
+    /// instrumented-path samples as exemplars with causal context. Purely
+    /// observational like the tracer and checker — a tail-armed traced run
+    /// charges exactly the same cycles and counts exactly the same
+    /// [`crate::KernelStats`] as a plain traced one. Requires `trace` (the
+    /// capture reads the histograms, span stack and trace ring). Excluded
+    /// from [`KernelConfig::summary`]; the `mmu-tricks-tail-v1` artifact
+    /// carries its own `tail` header instead.
+    pub tail: Option<crate::tail::TailConfig>,
 }
 
 impl KernelConfig {
@@ -279,6 +288,7 @@ impl KernelConfig {
             telemetry: None,
             mmtune: None,
             check: None,
+            tail: None,
         }
     }
 
@@ -307,6 +317,7 @@ impl KernelConfig {
             telemetry: None,
             mmtune: None,
             check: None,
+            tail: None,
         }
     }
 
@@ -393,6 +404,14 @@ impl KernelConfig {
             self.trace_ring_capacity > 0,
             "trace ring capacity must be positive"
         );
+        if let Some(tc) = self.tail {
+            assert!(
+                self.trace,
+                "tail forensics requires tracing (it reads the histograms, \
+                 span stack and trace ring)"
+            );
+            tc.validate();
+        }
     }
 }
 
@@ -432,6 +451,22 @@ mod tests {
         for part in o.split(' ') {
             assert_eq!(part.matches('=').count(), 1, "{part}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "tail forensics requires tracing")]
+    fn tail_requires_trace() {
+        let mut c = KernelConfig::optimized();
+        c.tail = Some(crate::tail::TailConfig::auto());
+        c.validate();
+    }
+
+    #[test]
+    fn tail_with_trace_validates() {
+        let mut c = KernelConfig::optimized();
+        c.trace = true;
+        c.tail = Some(crate::tail::TailConfig::auto());
+        c.validate();
     }
 
     #[test]

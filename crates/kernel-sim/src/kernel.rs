@@ -203,6 +203,12 @@ pub struct Kernel {
     /// counts nothing in [`KernelStats`] — but *panics* with a repro line on
     /// any violation.
     pub check: Option<Box<crate::check::CheckState>>,
+    /// The tail-latency forensics state, when [`KernelConfig::tail`] is
+    /// set: slow instrumented-path samples are captured as
+    /// [`crate::tail::TailExemplar`]s with their causal context.
+    /// Observational like the tracer — charges nothing, counts nothing in
+    /// [`KernelStats`], never writes the trace ring.
+    pub tail: Option<Box<crate::tail::TailState>>,
     /// Depth of in-flight scheduler mutations (context switch / teardown):
     /// the checker suspends its SchedInv clauses while nonzero. Maintained
     /// unconditionally (integer bookkeeping, no cycles).
@@ -301,6 +307,7 @@ impl Kernel {
             check: cfg
                 .check
                 .map(|cc| Box::new(crate::check::CheckState::new(cc))),
+            tail: cfg.tail.map(|tc| Box::new(crate::tail::TailState::new(tc))),
             sched_mutation_depth: 0,
             buggy_skip_vsid_flush: std::env::var_os("MMU_TRICKS_BUG_STALE_TLB").is_some(),
         }
@@ -411,9 +418,24 @@ impl Kernel {
         self.pmu_poll();
         self.telemetry_poll();
         let now = self.machine.cycles;
+        let lat = now.saturating_sub(t0);
+        // Decide capture against the *pre-sample* histogram, so auto arming
+        // tracks the running top bucket without the sample judging itself —
+        // and read the span stack before `exit` pops the span this sample
+        // belongs to. Both are host-side reads; the simulated run is
+        // untouched.
+        let capture = match (self.tail.as_ref(), self.tracer.as_ref()) {
+            (Some(tl), Some(t)) => tl.armed(lat, t.latency(path)),
+            _ => false,
+        };
+        let mut stack: Vec<Subsystem> = Vec::new();
         if let Some(t) = self.tracer.as_mut() {
+            if capture {
+                let _host = hostprof::span(hostprof::HostPhase::Telemetry);
+                stack = t.prof.stack().to_vec();
+            }
             t.prof.exit(now);
-            t.record_latency(path, now.saturating_sub(t0));
+            t.record_latency(path, lat);
         }
         if let Some(p) = self.pmu.as_mut() {
             p.stack.pop();
@@ -422,17 +444,71 @@ impl Kernel {
         // the threshold comparator (paper: "loads lasting longer than
         // threshold"; here: reloads/faults/deliveries).
         if let Some(hw) = self.machine.pmu.as_mut() {
-            hw.note_duration(now.saturating_sub(t0), true);
+            hw.note_duration(lat, true);
         }
         // The controller's own PMU sees the same duration events as the
         // machine PMU — its slow-reload counter is what feeds the htab grow
         // condition.
         if let Some(m) = self.mmtune.as_mut() {
-            m.pmu.note_duration(now.saturating_sub(t0), true);
+            m.pmu.note_duration(lat, true);
         }
+        self.tail_poll(path, lat, now, capture, stack);
         // Tune last: the latency sample above stays clean of retune cost.
         self.tune_poll();
         self.check_poll();
+    }
+
+    /// The tail-forensics hook at an instrumented-path completion: advance
+    /// the delta window on every sample, and capture an exemplar when the
+    /// sample armed. Read-only on kernel, MMU and tracer state — never
+    /// charges cycles, never touches [`KernelStats`], never writes the
+    /// trace ring. A single `None` test when tail forensics is off.
+    #[inline]
+    fn tail_poll(
+        &mut self,
+        path: LatencyPath,
+        lat: Cycles,
+        now: Cycles,
+        capture: bool,
+        stack: Vec<Subsystem>,
+    ) {
+        if self.tail.is_none() {
+            return;
+        }
+        let _host = hostprof::span(hostprof::HostPhase::Telemetry);
+        let stats = self.stats;
+        let htab_stats = *self.htab.stats();
+        if !capture {
+            if let Some(tl) = self.tail.as_mut() {
+                tl.note(&stats, &htab_stats);
+            }
+            return;
+        }
+        let window_len = self.tail.as_ref().map_or(0, |tl| tl.cfg.window);
+        let window: Vec<TraceRecord> = self.tracer.as_ref().map_or_else(Vec::new, |t| {
+            let n = t.ring.len();
+            t.ring
+                .iter()
+                .skip(n.saturating_sub(window_len))
+                .copied()
+                .collect()
+        });
+        let mmu = crate::tail::MmuSnapshot {
+            htab_groups: u64::from(self.htab.hash().num_groups()),
+            htab_valid: u64::from(self.htab.valid_entries()),
+            htab_live: u64::from(self.htab.live_entries(|v| self.vsids.is_live(v))),
+            htab_full_groups: u64::from(self.htab.full_groups()),
+            vsid_generation: u64::from(self.vsids.generation()),
+            vsid_live: self.vsids.live_count() as u64,
+            dbats: self.machine.mmu.bats.dbat_in_use() as u64,
+            ibats: self.machine.mmu.bats.ibat_in_use() as u64,
+            retunes: self.mmtune.as_ref().map_or(0, |m| m.decisions.len()) as u64,
+            free_frames: self.frames.free_frames() as u64,
+        };
+        let pid = self.current_pid();
+        if let Some(tl) = self.tail.as_mut() {
+            tl.offer(path, lat, now, pid, stack, window, mmu, &stats, &htab_stats);
+        }
     }
 
     /// Synchronises the PMU with the machine counters and services a

@@ -67,6 +67,7 @@ pub mod sched;
 pub mod signal;
 pub mod stats;
 pub mod syscall;
+pub mod tail;
 pub mod task;
 pub mod telemetry;
 #[cfg(test)]
@@ -79,6 +80,8 @@ mod tests_edge;
 mod tests_pmu;
 #[cfg(test)]
 mod tests_subsystems;
+#[cfg(test)]
+mod tests_tail;
 #[cfg(test)]
 mod tests_trace;
 pub mod trace;
@@ -96,6 +99,7 @@ pub use os_model::OsModel;
 pub use pmu::{PmuSample, PmuState};
 pub use prof::{Profiler, Subsystem};
 pub use stats::KernelStats;
+pub use tail::{MmuSnapshot, TailCause, TailConfig, TailExemplar, TailState};
 pub use task::{Pid, Task};
 pub use telemetry::{EpochSample, MmuReadings, Telemetry, TelemetryConfig};
 pub use trace::{Histogram, LatencyPath, TraceEvent, TraceRecord, TraceRing, Tracer};

@@ -184,6 +184,12 @@ impl Profiler {
     pub fn depth(&self) -> usize {
         self.stack.len()
     }
+
+    /// The current span stack, outermost first (a read-only view for
+    /// observers like the tail-forensics capture).
+    pub fn stack(&self) -> &[Subsystem] {
+        &self.stack
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,189 @@
+//! Integration tests for tail-latency forensics: the zero-overhead
+//! guarantee (tail-armed vs. plain traced runs), capture contents, and the
+//! exact-p99 relationship to the bucket bound.
+
+use ppc_machine::MachineConfig;
+use ppc_mmu::addr::PAGE_SIZE;
+
+use crate::kconfig::KernelConfig;
+use crate::kernel::Kernel;
+use crate::sched::USER_BASE;
+use crate::tail::TailConfig;
+use crate::trace::LatencyPath;
+
+/// The same every-path workload the trace tests use: faults, reloads,
+/// flushes, signals, context switches, fork/COW, reclaim and idle.
+fn workload(k: &mut Kernel) {
+    let a = k.spawn_process(16).unwrap();
+    let b = k.spawn_process(8).unwrap();
+    k.switch_to(a);
+    k.user_write(USER_BASE, 8 * PAGE_SIZE).unwrap();
+    k.sys_signal_install();
+    k.signal_roundtrip(USER_BASE).unwrap();
+    let child = k.sys_fork().unwrap();
+    k.switch_to(child);
+    k.user_write(USER_BASE, 2 * PAGE_SIZE).unwrap();
+    k.exit_current();
+    k.switch_to(b);
+    k.user_read(USER_BASE, 4 * PAGE_SIZE).unwrap();
+    let m = k.sys_mmap(None, 32 * PAGE_SIZE);
+    k.prefault(m, 32).unwrap();
+    k.sys_munmap(m, 32 * PAGE_SIZE);
+    k.run_idle(40_000);
+    k.sys_null();
+}
+
+/// A traced run with tail forensics optionally armed.
+fn run_traced(machine: MachineConfig, mut cfg: KernelConfig, tail: Option<TailConfig>) -> Kernel {
+    cfg.trace = true;
+    cfg.tail = tail;
+    let mut k = Kernel::boot(machine, cfg);
+    workload(&mut k);
+    k
+}
+
+#[test]
+fn tail_armed_run_is_cycle_identical_to_plain_traced() {
+    let plain = run_traced(MachineConfig::ppc604_185(), KernelConfig::optimized(), None);
+    let armed = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::auto()),
+    );
+    assert_eq!(
+        armed.machine.cycles, plain.machine.cycles,
+        "tail capture must never charge cycles"
+    );
+    assert_eq!(armed.stats, plain.stats, "and never touch a counter");
+    let (_, snap_armed) = armed.stats_snapshot();
+    let (_, snap_plain) = plain.stats_snapshot();
+    assert_eq!(snap_armed, snap_plain, "down to the cache/TLB monitors");
+    // Capture also never perturbs the trace stream itself.
+    let ra = &armed.tracer.as_ref().unwrap().ring;
+    let rp = &plain.tracer.as_ref().unwrap().ring;
+    assert_eq!(ra.total_pushed(), rp.total_pushed());
+    assert_eq!(ra.dropped(), rp.dropped());
+    assert!(ra.iter().zip(rp.iter()).all(|(a, b)| a == b));
+    // And it did actually capture something.
+    assert!(armed.tail.as_ref().unwrap().captured() > 0);
+}
+
+#[test]
+fn tail_identity_holds_over_a_matrix_sample() {
+    // A sample of the benchmark matrix's axes: two machines (one 603, one
+    // 604) under the unoptimized and optimized kernels.
+    let machines = [MachineConfig::ppc603_133(), MachineConfig::ppc604_185()];
+    let configs = [KernelConfig::unoptimized(), KernelConfig::optimized()];
+    for machine in machines {
+        for cfg in configs {
+            let plain = run_traced(machine, cfg, None);
+            let armed = run_traced(machine, cfg, Some(TailConfig::auto()));
+            assert_eq!(
+                armed.machine.cycles,
+                plain.machine.cycles,
+                "cycle identity broken for {}",
+                cfg.summary()
+            );
+            assert_eq!(armed.stats, plain.stats, "counters for {}", cfg.summary());
+            let (_, sa) = armed.stats_snapshot();
+            let (_, sp) = plain.stats_snapshot();
+            assert_eq!(sa, sp, "monitor snapshot for {}", cfg.summary());
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_capture_identical_exemplars() {
+    let a = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::auto()),
+    );
+    let b = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::auto()),
+    );
+    let (ta, tb) = (a.tail.as_ref().unwrap(), b.tail.as_ref().unwrap());
+    assert_eq!(ta.captured(), tb.captured());
+    for path in LatencyPath::ALL {
+        assert_eq!(ta.exemplars(path), tb.exemplars(path), "{path:?}");
+    }
+}
+
+#[test]
+fn exemplars_carry_their_causal_context() {
+    let k = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::auto()),
+    );
+    let tl = k.tail.as_ref().unwrap();
+    let t = k.tracer.as_ref().unwrap();
+    let mut total = 0;
+    for path in LatencyPath::ALL {
+        let ex = tl.exemplars(path);
+        total += ex.len();
+        // Slowest first; the overall maximum always arms in auto mode, so
+        // the top exemplar is the histogram's exact max.
+        if let Some(top) = ex.first() {
+            assert_eq!(top.latency, t.latency(path).max(), "{path:?}");
+        }
+        for e in ex {
+            assert_eq!(e.path, path);
+            assert!(e.latency > 0);
+            assert!(!e.stack.is_empty(), "stack still holds the exiting span");
+            assert!(!e.window.is_empty(), "causal window must not be empty");
+            assert!(e.window.len() <= tl.cfg.window);
+            assert!(e.window.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+            assert!(e.cycle >= e.latency, "completion cycle bounds the latency");
+            assert!(e.mmu.htab_groups > 0);
+        }
+        let lats: Vec<u64> = ex.iter().map(|e| e.latency).collect();
+        let mut sorted = lats.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(lats, sorted, "{path:?}: reservoir must be slowest-first");
+    }
+    assert!(total > 0, "the workload must produce tail exemplars");
+}
+
+#[test]
+fn fixed_threshold_captures_only_at_or_above() {
+    let k = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::fixed(200)),
+    );
+    let tl = k.tail.as_ref().unwrap();
+    for path in LatencyPath::ALL {
+        for e in tl.exemplars(path) {
+            assert!(e.latency >= 200, "{path:?} captured {} < threshold", e.latency);
+        }
+    }
+}
+
+#[test]
+fn exact_p99_is_bounded_by_the_bucket_p99() {
+    // The histogram's p99 is a bucket upper bound; the exemplar reservoir
+    // holds the exact slowest samples. With auto arming, every sample in
+    // the top bucket is captured, so whenever the 1% tail fits in the
+    // reservoir the exact p99 is among the exemplars — and it can never
+    // exceed the bucket bound.
+    let k = run_traced(
+        MachineConfig::ppc604_185(),
+        KernelConfig::optimized(),
+        Some(TailConfig::auto()),
+    );
+    let tl = k.tail.as_ref().unwrap();
+    let t = k.tracer.as_ref().unwrap();
+    for path in LatencyPath::ALL {
+        let h = t.latency(path);
+        let bound = h.percentile(99);
+        for e in tl.exemplars(path) {
+            assert!(e.latency <= h.max());
+        }
+        if let Some(top) = tl.exemplars(path).first() {
+            assert!(top.latency <= bound.max(h.max()), "{path:?}");
+        }
+    }
+}

@@ -386,3 +386,64 @@ proptest! {
         prop_assert_eq!(run(seed), run(seed));
     }
 }
+
+proptest! {
+    /// The tail-exemplar reservoir is deterministic under tied latencies:
+    /// replaying the same offer sequence reproduces it exactly, and the
+    /// retained set matches the specification — top-N by latency
+    /// descending, completion cycle then capture sequence breaking ties,
+    /// so the earliest captures survive.
+    #[test]
+    fn tail_reservoir_is_deterministic_under_ties(
+        offers in proptest::collection::vec((0u64..6, 0usize..3), 1..80),
+        top_n in 1usize..6,
+    ) {
+        use kernel_sim::tail::{MmuSnapshot, TailConfig, TailState};
+        use kernel_sim::trace::LatencyPath;
+        use kernel_sim::KernelStats;
+        use ppc_mmu::HtabStats;
+
+        let cfg = TailConfig { threshold: Some(1), top_n, window: 4 };
+        let run = || {
+            let mut tl = TailState::new(cfg);
+            for (i, (lat, p)) in offers.iter().enumerate() {
+                tl.offer(
+                    LatencyPath::ALL[*p],
+                    *lat,
+                    // Repeat each cycle stamp twice so cycle ties happen
+                    // and the sequence number must break them.
+                    100 + (i as u64 / 2),
+                    1,
+                    Vec::new(),
+                    Vec::new(),
+                    MmuSnapshot::default(),
+                    &KernelStats::default(),
+                    &HtabStats::default(),
+                );
+            }
+            tl
+        };
+        let a = run();
+        let b = run();
+        for (pi, path) in LatencyPath::ALL.iter().enumerate() {
+            prop_assert_eq!(a.exemplars(*path), b.exemplars(*path));
+            // Brute-force the specification ordering over every offer.
+            let mut expect: Vec<(u64, u64, u64)> = offers
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, p))| *p == pi)
+                .map(|(i, (lat, _))| (*lat, 100 + (i as u64 / 2), i as u64))
+                .collect();
+            expect.sort_by(|x, y| {
+                y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2))
+            });
+            expect.truncate(top_n);
+            let got: Vec<(u64, u64, u64)> = a
+                .exemplars(*path)
+                .iter()
+                .map(|e| (e.latency, e.cycle, e.seq))
+                .collect();
+            prop_assert_eq!(got, expect, "path {:?}", path);
+        }
+    }
+}
