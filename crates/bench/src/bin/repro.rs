@@ -28,6 +28,7 @@
 //! repro perf diff A.perf B.perf [--folded <path>] # profile/flamegraph diff
 //! repro hostbench [--iters N] [--json <path>]     # simulator speed/alloc baseline
 //! repro tail [--json <path>]                      # p99 exemplars + causal attribution
+//! repro causal [--json <path>]                    # exact virtual-speedup payoff curves
 //! ```
 //!
 //! `perf record` samples the workload with the modeled 604 PMU and writes a
@@ -37,7 +38,10 @@
 //! artifacts whose machine/depth/workload headers disagree — only the
 //! kernel-config axis may differ between the two sides.
 
-use bench::{depth_from_args, flag_value, positional_args, unknown_flags, EXPERIMENTS, SUBCOMMANDS};
+use bench::{
+    depth_from_args, flag_value, positional_args, unknown_flags, ARTIFACTS, EXPERIMENTS,
+    SUBCOMMANDS,
+};
 use mmu_tricks::bench::bench_report;
 use mmu_tricks::chaos::{chaos_report, ChaosConfig};
 use mmu_tricks::diff::{diff_perf, diff_reports, parse_report};
@@ -47,7 +51,7 @@ use mmu_tricks::hostbench::{run_hostbench, DEFAULT_ITERS};
 use mmu_tricks::matrix::run_matrix_jobs;
 use mmu_tricks::perf::{perf_record_on, PerfData, PerfWorkload};
 use mmu_tricks::tables::Table;
-use mmu_tricks::tune::tune_workload;
+use mmu_tricks::tune::tune_workload_jobs;
 use mmu_tricks::{Depth, KernelConfig};
 
 fn main() {
@@ -83,6 +87,7 @@ fn main() {
         "report" => return report_main(depth),
         "hostbench" => return hostbench_main(&args, depth),
         "tail" => return tail_main(&args, depth),
+        "causal" => return causal_main(&args, depth),
         _ => {}
     }
     let run_all = wanted.contains(&"all");
@@ -153,6 +158,8 @@ fn matrix_main(args: &[String], depth: Depth) {
 
 /// `repro tune`: offline coordinate descent per machine, emitting the
 /// `mmu-tricks-tune-v1` artifact naming each winning configuration.
+/// `--jobs N` descends up to N machines concurrently; the artifact is
+/// byte-identical to a serial run.
 fn tune_main(args: &[String], depth: Depth) {
     let wl = flag_value(args, "--workload").unwrap_or_else(|| "fault_storm".into());
     let workload = mmu_tricks::matrix::WORKLOADS
@@ -166,7 +173,16 @@ fn tune_main(args: &[String], depth: Depth) {
             );
             std::process::exit(1);
         });
-    let result = tune_workload(workload, depth);
+    let jobs = flag_value(args, "--jobs")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bad --jobs {v:?} (expected a positive worker count)");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or(1);
+    let result = tune_workload_jobs(workload, depth, jobs);
     match flag_value(args, "--json") {
         Some(path) => write_artifact(&path, &result.to_json()),
         None => println!("{}", result.table().render()),
@@ -436,6 +452,22 @@ fn tail_main(args: &[String], depth: Depth) {
     }
 }
 
+/// `repro causal`: exact what-if profiling — re-runs the deterministic
+/// grid under virtual speedups of each instrumented path and subsystem,
+/// printing payoff curves and the marginal ranking ("1% faster X buys Y
+/// ppm end-to-end"). `--json` writes the `mmu-tricks-causal-v1` artifact.
+fn causal_main(args: &[String], depth: Depth) {
+    let (report, tables) = mmu_tricks::causal::causal_report(depth);
+    match flag_value(args, "--json") {
+        Some(path) => write_artifact(&path, &report.to_json()),
+        None => {
+            for t in &tables {
+                println!("{}", t.render());
+            }
+        }
+    }
+}
+
 fn write_artifact(path: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("wrote {path}"),
@@ -477,7 +509,7 @@ fn usage_text() -> String {
     );
     let _ = writeln!(
         s,
-        "  repro tune [--workload compile|fault_storm|trace_ref] [--json <path>]"
+        "  repro tune [--workload compile|fault_storm|trace_ref] [--jobs N] [--json <path>]"
     );
     let _ = writeln!(s, "  repro report [--depth quick|full]");
     let _ = writeln!(s, "  repro diff <a.json> <b.json> [--json <path>] [--limit N]");
@@ -496,10 +528,15 @@ fn usage_text() -> String {
         s,
         "  repro hostbench [--depth quick|full] [--iters N] [--json <path>]"
     );
-    let _ = writeln!(s, "  repro tail [--depth quick|full] [--json <path>]\n");
+    let _ = writeln!(s, "  repro tail [--depth quick|full] [--json <path>]");
+    let _ = writeln!(s, "  repro causal [--depth quick|full] [--json <path>]\n");
     let _ = writeln!(s, "experiments:");
     for (id, desc) in EXPERIMENTS {
         let _ = writeln!(s, "  {id:<16} {desc}");
+    }
+    let _ = writeln!(s, "\nartifact schemas:");
+    for (schema, producer, desc) in ARTIFACTS {
+        let _ = writeln!(s, "  {schema:<26} {producer:<28} {desc}");
     }
     let _ = writeln!(s, "\n--depth     quick (CI-sized, default) or full (paper-sized)");
     let _ = writeln!(s, "--full      shorthand for --depth full");
@@ -525,7 +562,8 @@ fn usage_text() -> String {
     let _ = writeln!(s, "--limit     diff: ranked rows to render (default 25)");
     let _ = writeln!(
         s,
-        "--jobs      matrix: cells to run concurrently (default 1; output is byte-identical)"
+        "--jobs      matrix/tune: cells or machines to run concurrently (default 1; \
+         output is byte-identical)"
     );
     let _ = writeln!(s, "--seed      chaos: first fuzzer seed (default 1)");
     let _ = writeln!(s, "--runs      chaos: number of consecutive seeds to run (default 1)");
@@ -651,6 +689,7 @@ fn run(id: &str, depth: Depth, style: Style, out: &mut RunOutput) {
         "etune" => emit(&ex::exp_tune(depth).1, style, out),
         "echeck" => emit(&ex::exp_check(depth).1, style, out),
         "etail" => emit(&ex::exp_tail(depth).1, style, out),
+        "ecausal" => emit(&ex::exp_causal(depth).1, style, out),
         other => unreachable!("unknown experiment {other}"),
     }
 }

@@ -82,6 +82,68 @@ pub const SUBCOMMANDS: &[(&str, &str)] = &[
         "tail",
         "p99 exemplar capture + causal attribution (mmu-tricks-tail-v1)",
     ),
+    (
+        "causal",
+        "exact virtual speedups: payoff curves + ranking (mmu-tricks-causal-v1)",
+    ),
+];
+
+/// Every artifact schema the harness can emit, with the producer and a
+/// one-line contents summary. `repro --help` renders this table, and
+/// `tools/causal_gate.sh` greps the workspace for `mmu-tricks-*-v*` schema
+/// literals and asserts each one is registered here — an artifact added
+/// without a registry row fails CI, not code review.
+pub const ARTIFACTS: &[(&str, &str, &str)] = &[
+    (
+        "mmu-tricks-bench-v1",
+        "repro bench",
+        "headline cycles + miss rates per workload",
+    ),
+    (
+        "mmu-tricks-matrix-v1",
+        "repro matrix",
+        "machine × config × workload grid cells",
+    ),
+    (
+        "mmu-tricks-tune-v1",
+        "repro tune",
+        "per-machine coordinate-descent winners",
+    ),
+    (
+        "mmu-tricks-metrics-v1",
+        "repro <experiment> --json",
+        "run report: tables + trace metrics",
+    ),
+    (
+        "mmu-tricks-diff-v1",
+        "repro diff --json",
+        "structured report comparison",
+    ),
+    (
+        "mmu-tricks-chaos-v1",
+        "repro chaos --json",
+        "fuzzing outcomes under the shadow-MM oracle",
+    ),
+    (
+        "mmu-tricks-perf-v1",
+        "repro perf record",
+        "sampled profile (perf.data text)",
+    ),
+    (
+        "mmu-tricks-hostbench-v1",
+        "repro hostbench",
+        "simulator speed + allocation baseline",
+    ),
+    (
+        "mmu-tricks-tail-v1",
+        "repro tail",
+        "p99 exemplars + ranked causal attribution",
+    ),
+    (
+        "mmu-tricks-causal-v1",
+        "repro causal",
+        "virtual-speedup payoff curves + marginal ranking",
+    ),
 ];
 
 /// Any `--flag` the harness does not know about. A typo'd flag must be an
@@ -217,6 +279,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "etail",
         "E-TAIL: planted PTEG-saturation regression wins tail attribution",
     ),
+    (
+        "ecausal",
+        "E-CAUSAL: virtual speedups reproduce measured deltas; idle buys ~0",
+    ),
 ];
 
 #[cfg(test)]
@@ -304,5 +370,39 @@ mod tests {
             );
         }
         assert!(SUBCOMMANDS.iter().any(|(n, _)| *n == "hostbench"));
+    }
+
+    #[test]
+    fn artifact_registry_is_unique_and_versioned() {
+        let mut schemas: Vec<&str> = ARTIFACTS.iter().map(|(s, _, _)| *s).collect();
+        schemas.sort_unstable();
+        schemas.dedup();
+        assert_eq!(schemas.len(), ARTIFACTS.len());
+        for (schema, producer, _) in ARTIFACTS {
+            assert!(
+                schema.starts_with("mmu-tricks-") && schema.contains("-v"),
+                "schema {schema} must be named mmu-tricks-<kind>-v<n>"
+            );
+            assert!(
+                producer.starts_with("repro"),
+                "producer {producer} must be a repro invocation"
+            );
+        }
+    }
+
+    #[test]
+    fn every_schema_named_in_a_subcommand_summary_is_registered() {
+        for (name, desc) in SUBCOMMANDS {
+            if let Some(i) = desc.find("mmu-tricks-") {
+                let schema: String = desc[i..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                    .collect();
+                assert!(
+                    ARTIFACTS.iter().any(|(s, _, _)| *s == schema),
+                    "subcommand {name} mentions unregistered schema {schema}"
+                );
+            }
+        }
     }
 }

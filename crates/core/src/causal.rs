@@ -1,0 +1,496 @@
+//! `repro causal`: exact virtual-speedup payoff curves (DESIGN.md §15).
+//!
+//! Every other observability layer explains cycles the kernel *did* spend;
+//! this one prices optimizations that do not exist yet. For each target —
+//! an instrumented path ([`kernel_sim::CausalPath`]) or a profiler
+//! subsystem's self-time — the harness re-runs the identical deterministic
+//! workload with that target's cycle charges scaled to a virtual speedup
+//! factor and records the exact end-to-end cycle count, downstream
+//! interactions included. The result per machine × workload cell is a
+//! payoff curve (factors 0%/25%/50%/75%), a marginal payoff ("1% faster X
+//! buys Y ppm end-to-end"), and a ranking of targets by marginal payoff —
+//! the measured headroom the ROADMAP's prospective optimizations are
+//! bounded by.
+//!
+//! Everything is integers: payoffs are parts-per-million
+//! (`(baseline - scaled) * 1_000_000 / baseline`), so the
+//! `mmu-tricks-causal-v1` artifact stays byte-reproducible and parseable
+//! by the float-rejecting [`crate::diff`] parser. The factor-0 cell of
+//! every curve runs a real all-1/1 [`CausalConfig`] and the artifact's
+//! `identity_ok` field asserts it matched the plain (causal-off) baseline
+//! — every recording carries its own live proof of the identity guarantee.
+
+use kernel_sim::causal::{CausalConfig, CausalPath, Ratio};
+use kernel_sim::{FaultInjection, Kernel, KernelConfig, Subsystem};
+
+use crate::experiments::pressure::run_pressure_on_machine;
+use crate::matrix::{paper_machines, MatrixMachine};
+use crate::tables::Table;
+use crate::Depth;
+
+/// Virtual speedup factors (percent) of every payoff curve, in order.
+/// Factor 0 is a real all-1/1 causal run, doubling as the identity proof.
+pub const FACTORS: [u32; 4] = [0, 25, 50, 75];
+
+/// A virtual-speedup target: an instrumented path's whole dynamic extent,
+/// or one subsystem's self-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalTarget {
+    /// Scale the entire extent of an instrumented path.
+    Path(CausalPath),
+    /// Scale one profiler subsystem's self-time.
+    Sub(Subsystem),
+}
+
+impl CausalTarget {
+    /// Stable artifact/CLI identifier (`path:tlb_reload`, `sub:idle`).
+    pub fn id(&self) -> String {
+        match self {
+            CausalTarget::Path(p) => format!("path:{}", p.name()),
+            CausalTarget::Sub(s) => format!("sub:{}", s.name()),
+        }
+    }
+
+    /// The causal configuration that speeds this target up by `factor`
+    /// percent and leaves everything else untouched.
+    pub fn config(&self, factor: u32) -> CausalConfig {
+        let r = Ratio::speedup_pct(factor);
+        match self {
+            CausalTarget::Path(p) => CausalConfig::identity().scale_path(*p, r),
+            CausalTarget::Sub(s) => CausalConfig::identity().scale_subsystem(*s, r),
+        }
+    }
+}
+
+/// The default target list: every instrumented path, plus the subsystems
+/// whose self-time the ROADMAP's open items speculate about (scheduling,
+/// the idle task — the paper's §9 cautionary tale — and syscall entry).
+pub fn default_targets() -> Vec<CausalTarget> {
+    let mut t: Vec<CausalTarget> = CausalPath::ALL.into_iter().map(CausalTarget::Path).collect();
+    t.extend([
+        CausalTarget::Sub(Subsystem::Sched),
+        CausalTarget::Sub(Subsystem::Idle),
+        CausalTarget::Sub(Subsystem::Syscall),
+    ]);
+    t
+}
+
+/// The machine rows `repro causal` measures: the hardware-walk flagship and
+/// the software-reload 603, where reload scaling has the most to say.
+pub fn default_machines() -> Vec<MatrixMachine> {
+    paper_machines()
+        .into_iter()
+        .filter(|m| m.id == "604-133" || m.id == "603-swload")
+        .collect()
+}
+
+/// The workloads `repro causal` measures.
+pub const CAUSAL_WORKLOADS: &[&str] = &["compile", "fault_storm"];
+
+/// The kernel the grid runs: the optimized paper kernel with the mmtune
+/// epoch controller on, so the hash-table-rehash path has real work to
+/// scale. No tracing — the grid only needs end-to-end cycles.
+pub fn cell_config() -> KernelConfig {
+    let mut cfg = KernelConfig::optimized();
+    cfg.mmtune = Some(kernel_sim::MmtuneConfig::default());
+    cfg
+}
+
+/// Runs `workload` on machine row `m` under `cfg` and returns end-to-end
+/// cycles (bench-baseline semantics per workload, mirroring the matrix).
+pub fn measure_cycles(
+    m: &MatrixMachine,
+    mut cfg: KernelConfig,
+    workload: &str,
+    depth: Depth,
+) -> u64 {
+    cfg = m.apply(cfg);
+    match workload {
+        "compile" => {
+            let mut k = Kernel::boot(m.machine, cfg);
+            let c0 = k.machine.cycles;
+            lmbench::compile::kernel_compile(&mut k, depth.compile());
+            k.machine.cycles - c0
+        }
+        "fault_storm" => {
+            cfg.fault_injection = Some(FaultInjection::light(42));
+            let hogs = match depth {
+                Depth::Quick => 10,
+                Depth::Full => 24,
+            };
+            let (run, _k) = run_pressure_on_machine(m.machine, cfg, hogs);
+            run.cycles
+        }
+        other => panic!("unknown causal workload {other:?}"),
+    }
+}
+
+/// One target's payoff curve in one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetCurve {
+    /// Target identifier ([`CausalTarget::id`]).
+    pub target: String,
+    /// End-to-end cycles at each [`FACTORS`] entry.
+    pub cycles: [u64; 4],
+    /// Payoff in parts-per-million of the baseline at each factor
+    /// (signed: a virtual speedup that perturbs downstream policy can in
+    /// principle cost cycles, and the artifact would say so).
+    pub payoff_ppm: [i64; 4],
+    /// `payoff_ppm(25%) / 25` — ppm of end-to-end time bought per 1% of
+    /// target speedup, read off the shallow end of the curve.
+    pub marginal_ppm_per_pct: i64,
+}
+
+/// One machine × workload cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalCell {
+    /// Machine row id.
+    pub machine: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Plain run, `causal = None`.
+    pub baseline_cycles: u64,
+    /// All-1/1 causal run — must equal `baseline_cycles`.
+    pub identity_cycles: u64,
+    /// One curve per target.
+    pub targets: Vec<TargetCurve>,
+}
+
+impl CausalCell {
+    /// The composite `machine/workload` key used in JSON and gates.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.machine, self.workload)
+    }
+}
+
+/// The complete `repro causal` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalReport {
+    /// `quick` or `full`.
+    pub depth: &'static str,
+    /// Kernel toggle summary of [`cell_config`].
+    pub config: String,
+    /// The `causal` identity header: the factor grid this recording ran
+    /// (so [`crate::diff`] refuses causal-vs-plain comparisons).
+    pub causal: String,
+    /// All cells, machine-major then workload.
+    pub cells: Vec<CausalCell>,
+    /// `(target id, sum of marginal payoffs over cells)`, descending —
+    /// the "what should we optimize next" answer.
+    pub ranking: Vec<(String, i64)>,
+}
+
+/// The `causal` header value for the default factor grid.
+pub fn causal_mode() -> String {
+    let f: Vec<String> = FACTORS.iter().map(u32::to_string).collect();
+    format!("grid-f{}", f.join("-"))
+}
+
+fn payoff_ppm(baseline: u64, scaled: u64) -> i64 {
+    let b = baseline as i128;
+    let s = scaled as i128;
+    ((b - s) * 1_000_000 / b.max(1)) as i64
+}
+
+/// Runs an arbitrary sub-grid (tests and E-CAUSAL trim the axes;
+/// `repro causal` runs the default grid).
+pub fn causal_report_on(
+    machines: &[MatrixMachine],
+    workloads: &[&'static str],
+    targets: &[CausalTarget],
+    depth: Depth,
+) -> CausalReport {
+    let mut cells = Vec::new();
+    for m in machines {
+        for &w in workloads {
+            let baseline = measure_cycles(m, cell_config(), w, depth);
+            let mut cfg_ident = cell_config();
+            cfg_ident.causal = Some(CausalConfig::identity());
+            let identity = measure_cycles(m, cfg_ident, w, depth);
+            let curves = targets
+                .iter()
+                .map(|t| {
+                    let mut cycles = [0u64; 4];
+                    let mut ppm = [0i64; 4];
+                    for (i, &f) in FACTORS.iter().enumerate() {
+                        let c = if f == 0 {
+                            // Factor 0 is the identity run, shared across
+                            // targets (one all-1/1 config, same effect).
+                            identity
+                        } else {
+                            let mut cfg = cell_config();
+                            cfg.causal = Some(t.config(f));
+                            measure_cycles(m, cfg, w, depth)
+                        };
+                        cycles[i] = c;
+                        ppm[i] = payoff_ppm(baseline, c);
+                    }
+                    TargetCurve {
+                        target: t.id(),
+                        cycles,
+                        payoff_ppm: ppm,
+                        marginal_ppm_per_pct: ppm[1] / 25,
+                    }
+                })
+                .collect();
+            cells.push(CausalCell {
+                machine: m.id,
+                workload: w,
+                baseline_cycles: baseline,
+                identity_cycles: identity,
+                targets: curves,
+            });
+        }
+    }
+    // Rank by summed marginal payoff, descending; target id breaks ties so
+    // the ranking (and the artifact) is byte-reproducible.
+    let mut ranking: Vec<(String, i64)> = targets
+        .iter()
+        .map(|t| {
+            let id = t.id();
+            let sum = cells
+                .iter()
+                .flat_map(|c| &c.targets)
+                .filter(|tc| tc.target == id)
+                .map(|tc| tc.marginal_ppm_per_pct)
+                .sum();
+            (id, sum)
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    CausalReport {
+        depth: match depth {
+            Depth::Quick => "quick",
+            Depth::Full => "full",
+        },
+        config: KernelConfig::optimized().summary(),
+        causal: causal_mode(),
+        cells,
+        ranking,
+    }
+}
+
+/// The default grid — what `repro causal` runs.
+pub fn causal_report(depth: Depth) -> (CausalReport, Vec<Table>) {
+    let report = causal_report_on(
+        &default_machines(),
+        CAUSAL_WORKLOADS,
+        &default_targets(),
+        depth,
+    );
+    let tables = report.tables();
+    (report, tables)
+}
+
+impl CausalReport {
+    /// Whether every cell's all-1/1 run matched its plain baseline — the
+    /// identity guarantee, live in every recording (1 in the artifact;
+    /// `tools/causal_gate.sh` fails on 0).
+    pub fn identity_ok(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.identity_cycles == c.baseline_cycles)
+    }
+
+    /// The rendered views: one payoff-curve table per cell plus the
+    /// marginal ranking.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            let mut t = Table::new(
+                format!(
+                    "Causal payoff curves — {} ({}, baseline {} cycles, identity {})",
+                    cell.key(),
+                    self.depth,
+                    cell.baseline_cycles,
+                    if cell.identity_cycles == cell.baseline_cycles {
+                        "ok"
+                    } else {
+                        "VIOLATED"
+                    }
+                ),
+                vec![
+                    "target".into(),
+                    "payoff@25% (ppm)".into(),
+                    "payoff@50% (ppm)".into(),
+                    "payoff@75% (ppm)".into(),
+                    "marginal ppm/1%".into(),
+                ],
+            );
+            for c in &cell.targets {
+                t.push_row(vec![
+                    c.target.clone(),
+                    format!("{}", c.payoff_ppm[1]),
+                    format!("{}", c.payoff_ppm[2]),
+                    format!("{}", c.payoff_ppm[3]),
+                    format!("{}", c.marginal_ppm_per_pct),
+                ]);
+            }
+            out.push(t);
+        }
+        let mut rank = Table::new(
+            format!(
+                "Marginal payoff ranking ({} cells; \"1% faster X buys Y ppm \
+                 end-to-end\", summed over cells)",
+                self.cells.len()
+            ),
+            vec!["rank".into(), "target".into(), "sum marginal ppm/1%".into()],
+        );
+        for (i, (id, m)) in self.ranking.iter().enumerate() {
+            rank.push_row(vec![format!("{}", i + 1), id.clone(), format!("{m}")]);
+        }
+        out.push(rank);
+        out
+    }
+
+    /// The deterministic `mmu-tricks-causal-v1` artifact: integer-only
+    /// JSON with escape-free header strings, byte-for-byte reproducible,
+    /// parseable by [`crate::diff::parse_report`]. Carries the `causal`
+    /// identity header so `repro diff` refuses causal-vs-plain diffs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"mmu-tricks-causal-v1\",\n");
+        s.push_str(&format!("  \"depth\": \"{}\",\n", self.depth));
+        s.push_str(&format!("  \"config\": \"{}\",\n", self.config));
+        s.push_str(&format!("  \"causal\": \"{}\",\n", self.causal));
+        s.push_str(&format!(
+            "  \"identity_ok\": {},\n",
+            i32::from(self.identity_ok())
+        ));
+        s.push_str("  \"cells\": {\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"baseline_cycles\": {}, \"identity_cycles\": {}, \"targets\": {{\n",
+                cell.key(),
+                cell.baseline_cycles,
+                cell.identity_cycles
+            ));
+            for (j, c) in cell.targets.iter().enumerate() {
+                s.push_str(&format!(
+                    "      \"{}\": {{\"cycles\": [{}, {}, {}, {}], \
+                     \"payoff_ppm\": [{}, {}, {}, {}], \"marginal_ppm_per_pct\": {}}}",
+                    c.target,
+                    c.cycles[0],
+                    c.cycles[1],
+                    c.cycles[2],
+                    c.cycles[3],
+                    c.payoff_ppm[0],
+                    c.payoff_ppm[1],
+                    c.payoff_ppm[2],
+                    c.payoff_ppm[3],
+                    c.marginal_ppm_per_pct
+                ));
+                s.push_str(if j + 1 < cell.targets.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("    }}");
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"ranking\": {\n");
+        for (i, (id, m)) in self.ranking.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"rank\": {}, \"sum_marginal_ppm_per_pct\": {}}}",
+                id,
+                i + 1,
+                m
+            ));
+            s.push_str(if i + 1 < self.ranking.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff_reports, parse_report};
+
+    /// The trimmed grid the tests run: one machine, one workload, one path
+    /// and one subsystem target — 8 simulator runs, not the full default
+    /// grid (the CI gate covers that).
+    fn trimmed() -> CausalReport {
+        let machines: Vec<MatrixMachine> = paper_machines()
+            .into_iter()
+            .filter(|m| m.id == "604-133")
+            .collect();
+        let targets = [
+            CausalTarget::Path(CausalPath::TlbReload),
+            CausalTarget::Sub(Subsystem::Sched),
+        ];
+        causal_report_on(&machines, &["compile"], &targets, Depth::Quick)
+    }
+
+    #[test]
+    fn trimmed_grid_is_identity_clean_and_byte_reproducible() {
+        let a = trimmed();
+        let b = trimmed();
+        assert!(a.identity_ok(), "all-1/1 must match the plain baseline");
+        assert_eq!(a.to_json(), b.to_json(), "artifact must be byte-identical");
+        // Payoff at factor 0 is exactly zero by the identity guarantee.
+        for c in a.cells.iter().flat_map(|c| &c.targets) {
+            assert_eq!(c.payoff_ppm[0], 0, "{}", c.target);
+        }
+    }
+
+    #[test]
+    fn payoff_curves_are_monotone_for_real_work() {
+        let r = trimmed();
+        let cell = &r.cells[0];
+        let reload = cell
+            .targets
+            .iter()
+            .find(|t| t.target == "path:tlb_reload")
+            .unwrap();
+        assert!(
+            reload.payoff_ppm[1] > 0,
+            "25% faster reloads must buy something on compile: {:?}",
+            reload.payoff_ppm
+        );
+        assert!(reload.payoff_ppm[2] >= reload.payoff_ppm[1]);
+        assert!(reload.payoff_ppm[3] >= reload.payoff_ppm[2]);
+        assert!(reload.marginal_ppm_per_pct > 0);
+    }
+
+    #[test]
+    fn artifact_parses_carries_causal_header_and_refuses_plain() {
+        let r = trimmed();
+        let j = r.to_json();
+        let flat = parse_report(&j).expect("artifact must satisfy the differ");
+        assert_eq!(flat.schema, "mmu-tricks-causal-v1");
+        assert_eq!(flat.causal, causal_mode());
+        assert_eq!(flat.numbers["identity_ok"], 1);
+        assert_eq!(
+            flat.numbers["cells.604-133/compile.baseline_cycles"] as u64,
+            r.cells[0].baseline_cycles
+        );
+        let d = diff_reports(&flat, &flat.clone()).expect("self-diff");
+        assert!(d.entries.iter().all(|e| e.delta == 0));
+        // A plain artifact (empty causal header) must refuse.
+        let mut plain = flat.clone();
+        plain.causal = String::new();
+        let err = diff_reports(&flat, &plain).unwrap_err();
+        assert!(err.contains("causal mismatch"), "{err}");
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_covers_every_target() {
+        let r = trimmed();
+        assert_eq!(r.ranking.len(), 2);
+        assert!(r.ranking.windows(2).all(|w| w[0].1 >= w[1].1));
+        let ids: Vec<&str> = r.ranking.iter().map(|(id, _)| id.as_str()).collect();
+        assert!(ids.contains(&"path:tlb_reload") && ids.contains(&"sub:sched"));
+    }
+
+    #[test]
+    fn target_ids_and_mode_are_stable() {
+        assert_eq!(
+            CausalTarget::Path(CausalPath::HtabRehash).id(),
+            "path:htab_rehash"
+        );
+        assert_eq!(CausalTarget::Sub(Subsystem::Idle).id(), "sub:idle");
+        assert_eq!(causal_mode(), "grid-f0-25-50-75");
+        assert_eq!(default_targets().len(), 8);
+        assert_eq!(default_machines().len(), 2);
+    }
+}

@@ -187,6 +187,13 @@ pub struct FlatReport {
     /// at all and flatten to `""`, so they stay diffable against each
     /// other.
     pub tail: String,
+    /// `causal` header ("" when absent). Artifacts recorded with causal
+    /// what-if scaling declare the virtual-speedup grid; a causal run's
+    /// cycles are *deliberately* counterfactual, so diffing one against a
+    /// plain recording would manufacture exactly the deltas the scaling
+    /// injected. Pre-causal artifacts carry no header and flatten to `""`,
+    /// so they stay diffable against each other.
+    pub causal: String,
     /// Every numeric leaf: dotted path → value.
     pub numbers: BTreeMap<String, i64>,
 }
@@ -204,6 +211,7 @@ fn flatten(prefix: &str, v: &Json, out: &mut FlatReport) {
             "config" => out.config = s.clone(),
             "check" => out.check = s.clone(),
             "tail" => out.tail = s.clone(),
+            "causal" => out.causal = s.clone(),
             _ => {}
         },
         Json::Arr(items) => {
@@ -296,6 +304,7 @@ pub fn diff_reports(a: &FlatReport, b: &FlatReport) -> Result<ReportDiff, String
         ("workload", &a.workload, &b.workload),
         ("check", &a.check, &b.check),
         ("tail", &a.tail, &b.tail),
+        ("causal", &a.causal, &b.causal),
     ])?;
     let mut keys: Vec<&String> = a.numbers.keys().chain(b.numbers.keys()).collect();
     keys.sort();
@@ -652,6 +661,36 @@ mod tests {
         // header at all: it must parse, default to "", and stay diffable.
         let without = parse_report(&doc("opt", 1, 1)).unwrap();
         assert_eq!(without.tail, "");
+        assert!(diff_reports(&without, &without.clone()).is_ok());
+    }
+
+    #[test]
+    fn causal_header_mismatch_is_refused() {
+        // A causal artifact's cycles are deliberately counterfactual:
+        // diffing one against a plain recording would just print the
+        // virtual speedups back as "regressions".
+        let a = parse_report(&doc("opt", 100, 5)).unwrap();
+        let mut b = a.clone();
+        b.causal = "grid-f0-25-50-75".into();
+        let err = diff_reports(&a, &b).unwrap_err();
+        assert!(err.contains("causal mismatch"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        let err = diff_reports(&b, &a).unwrap_err();
+        assert!(err.contains("causal mismatch"), "{err}");
+        // Same grid on both sides (or neither) diffs fine.
+        assert!(diff_reports(&b, &b.clone()).is_ok());
+        assert!(diff_reports(&a, &a.clone()).is_ok());
+    }
+
+    #[test]
+    fn causal_header_parses_and_old_artifacts_default_to_empty() {
+        let with = "{\"schema\": \"mmu-tricks-causal-v1\", \"causal\": \"grid-f0-25-50-75\", \"n\": 1}";
+        let r = parse_report(with).unwrap();
+        assert_eq!(r.causal, "grid-f0-25-50-75");
+        // Every pre-causal artifact has no header at all: it must parse,
+        // default to "", and stay diffable.
+        let without = parse_report(&doc("opt", 1, 1)).unwrap();
+        assert_eq!(without.causal, "");
         assert!(diff_reports(&without, &without.clone()).is_ok());
     }
 

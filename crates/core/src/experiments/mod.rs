@@ -26,11 +26,13 @@
 //! | E-TUNE | [`etune::exp_tune`] |
 //! | E-CHECK | [`echeck::exp_check`] |
 //! | E-TAIL | [`etail::exp_tail`] |
+//! | E-CAUSAL | [`ecausal::exp_causal`] |
 
 pub mod ablate;
 pub mod artifacts;
 pub mod cache;
 pub mod echeck;
+pub mod ecausal;
 pub mod ematrix;
 pub mod etail;
 pub mod etune;
@@ -49,6 +51,7 @@ pub use ablate::{
 };
 pub use artifacts::{reference_workload, trace_artifacts, LatencySummary, TraceArtifacts};
 pub use cache::{exp_cache_pollution, exp_extensions, exp_page_clear};
+pub use ecausal::{exp_causal, CausalGateResult};
 pub use echeck::{exp_check, CheckGateResult};
 pub use ematrix::{exp_matrix, MatrixResult, OptimizationRow};
 pub use etail::{exp_tail, TailGateResult};

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod bench;
+pub mod causal;
 pub mod chaos;
 pub mod diff;
 pub mod experiments;

@@ -167,20 +167,62 @@ pub fn tune_cell(m: &MatrixMachine, workload: &'static str, depth: Depth) -> Mac
 ///
 /// Panics if `workload` is not one of [`WORKLOADS`].
 pub fn tune_workload(workload: &'static str, depth: Depth) -> TuneResult {
+    tune_workload_jobs(workload, depth, 1)
+}
+
+/// [`tune_workload`] with up to `jobs` machines descending concurrently.
+/// Each machine's descent is an independent deterministic computation and
+/// the outcomes are assembled in [`paper_machines`] order, so the result —
+/// and the `mmu-tricks-tune-v1` artifact — is byte-identical to a serial
+/// run (`tools/tune_gate.sh` cmp-checks this).
+///
+/// # Panics
+///
+/// Panics if `workload` is not one of [`WORKLOADS`].
+pub fn tune_workload_jobs(workload: &'static str, depth: Depth, jobs: usize) -> TuneResult {
     assert!(
         WORKLOADS.contains(&workload),
         "unknown tune workload {workload:?} (expected one of {WORKLOADS:?})"
     );
+    let machines = paper_machines();
+    let outcomes: Vec<MachineTune> = if jobs <= 1 {
+        machines
+            .iter()
+            .map(|m| tune_cell(m, workload, depth))
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let slots: Vec<std::sync::Mutex<Option<MachineTune>>> =
+            machines.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(machines.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(m) = machines.get(i) else {
+                        break;
+                    };
+                    let outcome = tune_cell(m, workload, depth);
+                    *slots[i].lock().expect("tune worker panicked") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("tune worker panicked")
+                    .expect("every claimed machine is filled before scope exit")
+            })
+            .collect()
+    };
     TuneResult {
         depth: match depth {
             Depth::Quick => "quick",
             Depth::Full => "full",
         },
         workload,
-        outcomes: paper_machines()
-            .iter()
-            .map(|m| tune_cell(m, workload, depth))
-            .collect(),
+        outcomes,
     }
 }
 

@@ -1,0 +1,408 @@
+//! Causal what-if profiling: exact virtual speedups (DESIGN.md §15).
+//!
+//! COZ-style causal profilers estimate "what if X were f% faster?" by
+//! *slowing everything else down* around sampled occurrences of X, because
+//! on real hardware you cannot un-spend cycles. This simulator can: every
+//! cycle is charged explicitly at a known site under a known profiler span,
+//! so a virtual speedup is just a multiplier applied at the charge point.
+//! Re-running the identical deterministic workload with one subsystem's
+//! charges scaled measures the *exact* end-to-end effect — including every
+//! downstream scheduling, reclaim, and epoch-controller interaction — with
+//! no sampling error and no perturbation of the rest of the run.
+//!
+//! Multipliers are integer fixed-point ratios `num/den` (floored per
+//! charge, no remainder carry), keyed two ways:
+//!
+//! * **by subsystem** ([`crate::prof::Subsystem`]) — scales *self-time*:
+//!   only charges made while that subsystem is the innermost open span;
+//! * **by instrumented path** ([`CausalPath`]) — scales the *entire dynamic
+//!   extent* of the path (TLB reload including nested hash-table inserts,
+//!   page fault, hash-table rehash, flush, signal delivery).
+//!
+//! The effective scale at any instant is the product of the innermost
+//! span's subsystem ratio and every active path's ratio. Only the clock is
+//! scaled: cache and TLB state, counters, and every policy decision that
+//! reads them evolve from the (scaled) clock exactly as a real faster
+//! handler would cause — that is the "exact causal" semantics. A config of
+//! all 1/1 ratios is cycle- and counter-identical to `causal = None`,
+//! proven by tests and the CI causal gate.
+
+use crate::prof::{Subsystem, NUM_SUBSYSTEMS};
+
+/// Largest permitted ratio component. Keeping components small bounds the
+/// product of one subsystem ratio and all [`NUM_PATHS`] path ratios below
+/// `1000^6 = 10^18 < u64::MAX`, so the effective scale never overflows.
+pub const MAX_RATIO_COMPONENT: u32 = 1000;
+
+/// An integer fixed-point charge multiplier. `num/den` of every cycle
+/// charged survives; `Ratio::ONE` leaves charges untouched and
+/// `Ratio::ZERO` makes the target free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator (0 permitted: the target becomes free).
+    pub num: u32,
+    /// Denominator (never zero).
+    pub den: u32,
+}
+
+impl Ratio {
+    /// The identity multiplier.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+    /// The zeroing multiplier: the target costs nothing.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+
+    /// The multiplier for an `f`-percent virtual *speedup*:
+    /// `(100 - f) / 100` (25% faster → 3/4 of every charge survives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > 100`.
+    pub fn speedup_pct(f: u32) -> Ratio {
+        assert!(f <= 100, "speedup percentage must be at most 100");
+        if f == 0 {
+            Ratio::ONE
+        } else if f == 100 {
+            Ratio::ZERO
+        } else {
+            Ratio {
+                num: 100 - f,
+                den: 100,
+            }
+        }
+    }
+
+    /// Whether this is the identity multiplier (in lowest terms or not).
+    pub fn is_one(self) -> bool {
+        self.num == self.den
+    }
+
+    /// Panics unless the ratio is well-formed (nonzero denominator, both
+    /// components within [`MAX_RATIO_COMPONENT`]).
+    pub fn validate(self) {
+        assert!(self.den != 0, "causal ratio denominator must be nonzero");
+        assert!(
+            self.num <= MAX_RATIO_COMPONENT && self.den <= MAX_RATIO_COMPONENT,
+            "causal ratio components must be at most {MAX_RATIO_COMPONENT}"
+        );
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ONE
+    }
+}
+
+/// Number of instrumented paths a causal multiplier can target.
+pub const NUM_PATHS: usize = 5;
+
+/// An instrumented path whose *entire dynamic extent* (nested spans
+/// included) a causal multiplier can scale. Paths map onto the latency
+/// paths the tail-forensics layer samples, plus the hash-table rehash the
+/// mmtune controller charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CausalPath {
+    /// A hardware TLB miss serviced in software: hash-table search and (on
+    /// miss) Linux page-table walk, including the nested hash-table insert.
+    TlbReload = 0,
+    /// A page fault from entry to return, including the reload it nests in.
+    PageFault = 1,
+    /// An mmtune hash-table resize: reclaim, re-insert traffic, and the
+    /// charged rehash cost.
+    HtabRehash = 2,
+    /// A TLB/hash-table flush (context switch or munmap).
+    Flush = 3,
+    /// Signal delivery: frame push through sigreturn.
+    SignalDelivery = 4,
+}
+
+impl CausalPath {
+    /// Every path, in `repr` order.
+    pub const ALL: [CausalPath; NUM_PATHS] = [
+        CausalPath::TlbReload,
+        CausalPath::PageFault,
+        CausalPath::HtabRehash,
+        CausalPath::Flush,
+        CausalPath::SignalDelivery,
+    ];
+
+    /// Stable lower-case name, used in artifacts and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CausalPath::TlbReload => "tlb_reload",
+            CausalPath::PageFault => "page_fault",
+            CausalPath::HtabRehash => "htab_rehash",
+            CausalPath::Flush => "flush",
+            CausalPath::SignalDelivery => "signal_delivery",
+        }
+    }
+
+    /// Parses a [`CausalPath::name`] back to the path.
+    pub fn from_name(name: &str) -> Option<CausalPath> {
+        CausalPath::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The path a span of subsystem `s` roots, if any: pushing a Translate
+    /// span enters the TLB-reload extent, and so on. Rehash has no root
+    /// subsystem — the kernel marks it explicitly around the resize action.
+    pub fn of_span_root(s: Subsystem) -> Option<CausalPath> {
+        match s {
+            Subsystem::Translate => Some(CausalPath::TlbReload),
+            Subsystem::PageFault => Some(CausalPath::PageFault),
+            Subsystem::Flush => Some(CausalPath::Flush),
+            Subsystem::Signal => Some(CausalPath::SignalDelivery),
+            _ => None,
+        }
+    }
+}
+
+/// The full causal-profiling configuration: one multiplier per profiler
+/// subsystem (self-time) and one per instrumented path (dynamic extent).
+/// `Copy` so [`crate::KernelConfig`] stays `Copy`; the all-[`Ratio::ONE`]
+/// default is cycle-identical to `causal = None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalConfig {
+    /// Self-time multiplier per [`Subsystem`], indexed by `repr`.
+    pub subsystem: [Ratio; NUM_SUBSYSTEMS],
+    /// Extent multiplier per [`CausalPath`], indexed by `repr`.
+    pub path: [Ratio; NUM_PATHS],
+}
+
+impl CausalConfig {
+    /// The identity configuration: every multiplier 1/1. Installing it must
+    /// be cycle- and counter-identical to `causal = None` (gated in CI).
+    pub fn identity() -> Self {
+        Self {
+            subsystem: [Ratio::ONE; NUM_SUBSYSTEMS],
+            path: [Ratio::ONE; NUM_PATHS],
+        }
+    }
+
+    /// Identity except subsystem `s` scaled by `r` (builder style).
+    pub fn scale_subsystem(mut self, s: Subsystem, r: Ratio) -> Self {
+        self.subsystem[s as usize] = r;
+        self
+    }
+
+    /// Identity except path `p` scaled by `r` (builder style).
+    pub fn scale_path(mut self, p: CausalPath, r: Ratio) -> Self {
+        self.path[p as usize] = r;
+        self
+    }
+
+    /// Whether every multiplier is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.subsystem.iter().all(|r| r.is_one()) && self.path.iter().all(|r| r.is_one())
+    }
+
+    /// Panics unless every ratio is well-formed (see [`Ratio::validate`]).
+    pub fn validate(&self) {
+        for r in self.subsystem.iter().chain(self.path.iter()) {
+            r.validate();
+        }
+    }
+}
+
+impl Default for CausalConfig {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+/// Runtime state: the kernel's own span stack (independent of the tracer,
+/// which may be off) plus per-path extent depths. Recomputed into a single
+/// `(num, den)` machine scale at every span transition.
+#[derive(Debug, Clone)]
+pub struct CausalState {
+    /// The configuration being applied.
+    pub cfg: CausalConfig,
+    stack: Vec<Subsystem>,
+    path_depth: [u32; NUM_PATHS],
+}
+
+impl CausalState {
+    /// Fresh state for `cfg` (empty stack: charges attribute to
+    /// [`Subsystem::User`], matching the exact profiler's convention).
+    pub fn new(cfg: CausalConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            stack: Vec::with_capacity(8),
+            path_depth: [0; NUM_PATHS],
+        }
+    }
+
+    /// Opens a span of subsystem `s`; activates the path it roots, if any.
+    pub fn push(&mut self, s: Subsystem) {
+        self.stack.push(s);
+        if let Some(p) = CausalPath::of_span_root(s) {
+            self.path_depth[p as usize] += 1;
+        }
+    }
+
+    /// Closes the innermost span.
+    pub fn pop(&mut self) {
+        if let Some(s) = self.stack.pop() {
+            if let Some(p) = CausalPath::of_span_root(s) {
+                let d = &mut self.path_depth[p as usize];
+                *d = d.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Explicitly enters/leaves a path extent that no subsystem roots
+    /// (today: [`CausalPath::HtabRehash`] around the mmtune resize action).
+    pub fn path_mark(&mut self, p: CausalPath, enter: bool) {
+        let d = &mut self.path_depth[p as usize];
+        if enter {
+            *d += 1;
+        } else {
+            *d = d.saturating_sub(1);
+        }
+    }
+
+    /// The effective machine scale right now: the innermost span's
+    /// subsystem ratio (empty stack ⇒ [`Subsystem::User`]) times every
+    /// active path's ratio, each path counted once regardless of nesting
+    /// depth. Reduced to lowest terms so an all-identity product collapses
+    /// to `(1, 1)` and the machine's fast path engages.
+    pub fn scale(&self) -> (u64, u64) {
+        let top = self.stack.last().copied().unwrap_or(Subsystem::User);
+        let r = self.cfg.subsystem[top as usize];
+        let mut num = r.num as u64;
+        let mut den = r.den as u64;
+        for (i, depth) in self.path_depth.iter().enumerate() {
+            if *depth > 0 {
+                let r = self.cfg.path[i];
+                num *= r.num as u64;
+                den *= r.den as u64;
+            }
+        }
+        let g = gcd(num.max(1), den);
+        (num / g, den / g)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_pct_maps_to_expected_ratios() {
+        assert_eq!(Ratio::speedup_pct(0), Ratio::ONE);
+        assert_eq!(Ratio::speedup_pct(25), Ratio { num: 75, den: 100 });
+        assert_eq!(Ratio::speedup_pct(50), Ratio { num: 50, den: 100 });
+        assert_eq!(Ratio::speedup_pct(100), Ratio::ZERO);
+    }
+
+    #[test]
+    fn path_names_round_trip() {
+        for p in CausalPath::ALL {
+            assert_eq!(CausalPath::from_name(p.name()), Some(p));
+        }
+        assert_eq!(CausalPath::from_name("no_such_path"), None);
+    }
+
+    #[test]
+    fn identity_config_scales_to_one() {
+        let st = CausalState::new(CausalConfig::identity());
+        assert_eq!(st.scale(), (1, 1));
+        assert!(CausalConfig::identity().is_identity());
+    }
+
+    #[test]
+    fn subsystem_ratio_applies_to_innermost_span_only() {
+        let cfg = CausalConfig::identity()
+            .scale_subsystem(Subsystem::Translate, Ratio { num: 1, den: 2 });
+        let mut st = CausalState::new(cfg);
+        // Translate ratio is a *self-time* multiplier, but pushing a
+        // Translate span also enters the TlbReload path (identity here).
+        st.push(Subsystem::Translate);
+        assert_eq!(st.scale(), (1, 2));
+        // A nested HtabInsert span masks the Translate self-time ratio.
+        st.push(Subsystem::HtabInsert);
+        assert_eq!(st.scale(), (1, 1));
+        st.pop();
+        assert_eq!(st.scale(), (1, 2));
+        st.pop();
+        assert_eq!(st.scale(), (1, 1));
+    }
+
+    #[test]
+    fn path_ratio_covers_the_whole_extent() {
+        let cfg =
+            CausalConfig::identity().scale_path(CausalPath::TlbReload, Ratio { num: 1, den: 4 });
+        let mut st = CausalState::new(cfg);
+        st.push(Subsystem::Translate);
+        assert_eq!(st.scale(), (1, 4));
+        // Nested spans stay inside the extent.
+        st.push(Subsystem::HtabInsert);
+        assert_eq!(st.scale(), (1, 4));
+        // Nested re-entry of the same path does not square the ratio.
+        st.push(Subsystem::Translate);
+        assert_eq!(st.scale(), (1, 4));
+        st.pop();
+        st.pop();
+        st.pop();
+        assert_eq!(st.scale(), (1, 1));
+    }
+
+    #[test]
+    fn subsystem_and_path_ratios_compose_multiplicatively() {
+        let cfg = CausalConfig::identity()
+            .scale_path(CausalPath::PageFault, Ratio { num: 1, den: 2 })
+            .scale_subsystem(Subsystem::PageFault, Ratio { num: 3, den: 4 });
+        let mut st = CausalState::new(cfg);
+        st.push(Subsystem::PageFault);
+        assert_eq!(st.scale(), (3, 8));
+    }
+
+    #[test]
+    fn zero_ratio_reduces_to_zero_over_one() {
+        let cfg = CausalConfig::identity().scale_path(CausalPath::Flush, Ratio::ZERO);
+        let mut st = CausalState::new(cfg);
+        st.push(Subsystem::Flush);
+        assert_eq!(st.scale(), (0, 1));
+    }
+
+    #[test]
+    fn explicit_path_mark_drives_rehash_extent() {
+        let cfg =
+            CausalConfig::identity().scale_path(CausalPath::HtabRehash, Ratio { num: 1, den: 10 });
+        let mut st = CausalState::new(cfg);
+        st.push(Subsystem::Mmtune);
+        assert_eq!(st.scale(), (1, 1));
+        st.path_mark(CausalPath::HtabRehash, true);
+        assert_eq!(st.scale(), (1, 10));
+        st.path_mark(CausalPath::HtabRehash, false);
+        assert_eq!(st.scale(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_is_rejected() {
+        CausalConfig::identity()
+            .scale_path(CausalPath::Flush, Ratio { num: 1, den: 0 })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_component_is_rejected() {
+        Ratio {
+            num: 100_000,
+            den: 1,
+        }
+        .validate();
+    }
+}

@@ -55,8 +55,16 @@ impl Kernel {
                 }
             }
             // Guarantee forward progress even if every duty was a no-op.
+            // This is a *wait*, not work: the stall models an I/O delay
+            // whose duration the CPU cannot shorten, so it bypasses any
+            // causal charge scale — virtually zeroing the idle task makes
+            // its duties free (more of them fit in the same stall) without
+            // making the device answer sooner, which is exactly the §9
+            // "optimizing the idle task buys nothing" counterfactual
+            // E-CAUSAL quantifies. (Unscaled runs never notice: the loop
+            // body above always charges, so this arm is dormant.)
             if self.machine.cycles == before {
-                self.machine.charge(16);
+                self.machine.wait(16);
             }
         }
         self.stats.idle_cycles += self.machine.cycles - start;

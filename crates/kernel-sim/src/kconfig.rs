@@ -258,6 +258,15 @@ pub struct KernelConfig {
     /// from [`KernelConfig::summary`]; the `mmu-tricks-tail-v1` artifact
     /// carries its own `tail` header instead.
     pub tail: Option<crate::tail::TailConfig>,
+
+    /// Causal what-if profiling (DESIGN.md §15): integer fixed-point
+    /// multipliers applied to cycle charges by profiler subsystem and by
+    /// instrumented path, so a run can measure the *exact* end-to-end
+    /// effect of a hypothetical speedup. `None` and an all-1/1 config are
+    /// cycle- and counter-identical to a plain run (gated in CI). Excluded
+    /// from [`KernelConfig::summary`]; the `mmu-tricks-causal-v1` artifact
+    /// carries its own `causal` header instead.
+    pub causal: Option<crate::causal::CausalConfig>,
 }
 
 impl KernelConfig {
@@ -289,6 +298,7 @@ impl KernelConfig {
             mmtune: None,
             check: None,
             tail: None,
+            causal: None,
         }
     }
 
@@ -318,6 +328,7 @@ impl KernelConfig {
             mmtune: None,
             check: None,
             tail: None,
+            causal: None,
         }
     }
 
@@ -412,6 +423,9 @@ impl KernelConfig {
             );
             tc.validate();
         }
+        if let Some(cc) = self.causal {
+            cc.validate();
+        }
     }
 }
 
@@ -467,6 +481,36 @@ mod tests {
         c.trace = true;
         c.tail = Some(crate::tail::TailConfig::auto());
         c.validate();
+    }
+
+    #[test]
+    fn presets_leave_causal_off_and_identity_validates() {
+        assert!(KernelConfig::unoptimized().causal.is_none());
+        assert!(KernelConfig::optimized().causal.is_none());
+        assert!(KernelConfig::extended().causal.is_none());
+        let mut c = KernelConfig::optimized();
+        c.causal = Some(crate::causal::CausalConfig::identity());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn causal_zero_denominator_is_rejected() {
+        let mut c = KernelConfig::optimized();
+        let bad = crate::causal::Ratio { num: 1, den: 0 };
+        c.causal = Some(
+            crate::causal::CausalConfig::identity()
+                .scale_path(crate::causal::CausalPath::Flush, bad),
+        );
+        c.validate();
+    }
+
+    #[test]
+    fn summary_excludes_causal() {
+        let mut c = KernelConfig::optimized();
+        let plain = c.summary();
+        c.causal = Some(crate::causal::CausalConfig::identity());
+        assert_eq!(c.summary(), plain, "causal is observational scaffolding");
     }
 
     #[test]

@@ -209,6 +209,12 @@ pub struct Kernel {
     /// Observational like the tracer — charges nothing, counts nothing in
     /// [`KernelStats`], never writes the trace ring.
     pub tail: Option<Box<crate::tail::TailState>>,
+    /// Causal what-if profiling state, when [`KernelConfig::causal`] is
+    /// set: its own span stack (the tracer may be off) plus per-path
+    /// extent depths, folded into one `(num, den)` machine charge scale at
+    /// every span transition. With `None` the machine scale is never
+    /// touched and stays at its bit-identical 1/1 default.
+    pub causal: Option<Box<crate::causal::CausalState>>,
     /// Depth of in-flight scheduler mutations (context switch / teardown):
     /// the checker suspends its SchedInv clauses while nonzero. Maintained
     /// unconditionally (integer bookkeeping, no cycles).
@@ -271,7 +277,7 @@ impl Kernel {
             .expect("page-table pool cannot be empty at boot");
         let mut phys = PhysMem::new();
         phys.zero_page(kernel_pgd);
-        Self {
+        let mut kernel = Self {
             machine,
             cfg,
             paths,
@@ -308,9 +314,16 @@ impl Kernel {
                 .check
                 .map(|cc| Box::new(crate::check::CheckState::new(cc))),
             tail: cfg.tail.map(|tc| Box::new(crate::tail::TailState::new(tc))),
+            causal: cfg
+                .causal
+                .map(|cc| Box::new(crate::causal::CausalState::new(cc))),
             sched_mutation_depth: 0,
             buggy_skip_vsid_flush: std::env::var_os("MMU_TRICKS_BUG_STALE_TLB").is_some(),
-        }
+        };
+        // With an empty span stack the causal scale is the User ratio; an
+        // identity config folds to (1, 1) and never perturbs the machine.
+        kernel.causal_rescale();
+        kernel
     }
 
     /// Enables (or disables) the deliberate stale-TLB bug — the lazy
@@ -390,7 +403,51 @@ impl Kernel {
         if let Some(p) = self.pmu.as_mut() {
             p.stack.push(s);
         }
+        self.causal_push(s);
         now
+    }
+
+    /// Re-derives the machine charge scale from the causal span state; a
+    /// no-op when causal profiling is off (the machine keeps its 1/1
+    /// default and `advance` short-circuits — plain runs never pay for
+    /// this feature existing).
+    #[inline]
+    fn causal_rescale(&mut self) {
+        if let Some(c) = self.causal.as_ref() {
+            let (num, den) = c.scale();
+            self.machine.set_scale(num, den);
+        }
+    }
+
+    /// Mirrors a span push into the causal state. Called at the same
+    /// transition instants as the profiler/PMU stack pushes, so the scale
+    /// in force between two transitions is exactly the innermost span's.
+    #[inline]
+    pub(crate) fn causal_push(&mut self, s: Subsystem) {
+        if let Some(c) = self.causal.as_mut() {
+            c.push(s);
+            self.causal_rescale();
+        }
+    }
+
+    /// Mirrors a span pop into the causal state.
+    #[inline]
+    pub(crate) fn causal_pop(&mut self) {
+        if let Some(c) = self.causal.as_mut() {
+            c.pop();
+            self.causal_rescale();
+        }
+    }
+
+    /// Enters (`true`) or leaves (`false`) an explicitly marked path
+    /// extent — paths like the hash-table rehash that no subsystem span
+    /// roots.
+    #[inline]
+    pub(crate) fn causal_path_mark(&mut self, p: crate::causal::CausalPath, enter: bool) {
+        if let Some(c) = self.causal.as_mut() {
+            c.path_mark(p, enter);
+            self.causal_rescale();
+        }
     }
 
     /// Closes the innermost profiler span.
@@ -405,6 +462,7 @@ impl Kernel {
         if let Some(p) = self.pmu.as_mut() {
             p.stack.pop();
         }
+        self.causal_pop();
         // Tune *after* the span closes so the retune charge is attributed
         // to [`Subsystem::Mmtune`], not the subsystem that just exited.
         self.tune_poll();
@@ -440,6 +498,7 @@ impl Kernel {
         if let Some(p) = self.pmu.as_mut() {
             p.stack.pop();
         }
+        self.causal_pop();
         // Instrumented-path latencies are the model's duration events: feed
         // the threshold comparator (paper: "loads lasting longer than
         // threshold"; here: reloads/faults/deliveries).
@@ -578,6 +637,7 @@ impl Kernel {
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(Subsystem::Pmu, now);
         }
+        self.causal_push(Subsystem::Pmu);
         let costs = self.machine.cfg.costs;
         self.machine
             .charge(costs.exception_entry + costs.exception_exit);
@@ -587,6 +647,7 @@ impl Kernel {
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
         }
+        self.causal_pop();
         // The handler froze counting while it ran (a real PM handler sets
         // MMCR0[FC] first thing): skip its own cycles out of the next
         // counting window so sampling does not sample itself.
@@ -724,6 +785,7 @@ impl Kernel {
         if let Some(t) = self.tracer.as_mut() {
             t.prof.enter(Subsystem::Mmtune, now);
         }
+        self.causal_push(Subsystem::Mmtune);
         let (knob, from, to) = match action {
             TuneAction::EnableBats => {
                 // The §5.1 layout, exactly as boot would have programmed it.
@@ -740,6 +802,11 @@ impl Kernel {
                 (TuneKnob::Scatter, from, to)
             }
             TuneAction::ResizeHtab { from, to } => {
+                // The rehash is an explicitly marked causal path: no
+                // subsystem span roots it (it runs inside the Mmtune
+                // span), but "what if rehashes were free?" is exactly the
+                // question the grow/shrink cost-benefit analysis needs.
+                self.causal_path_mark(crate::causal::CausalPath::HtabRehash, true);
                 let cached = self.cfg.htab_cached;
                 // Sweep zombies out first (charged like any reclaim sweep)
                 // so the rehash only moves entries worth keeping.
@@ -766,6 +833,7 @@ impl Kernel {
                     self.machine.mmu.flush_tlbs();
                     self.machine.charge(32);
                 }
+                self.causal_path_mark(crate::causal::CausalPath::HtabRehash, false);
                 (TuneKnob::HtabSize, from, to)
             }
         };
@@ -780,6 +848,7 @@ impl Kernel {
         if let Some(t) = self.tracer.as_mut() {
             t.prof.exit(now);
         }
+        self.causal_pop();
         m.log(RetuneDecision {
             cycle: now,
             epoch,

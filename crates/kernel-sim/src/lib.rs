@@ -43,6 +43,7 @@
 //! assert!(k.machine.cycles > 0);
 //! ```
 
+pub mod causal;
 pub mod check;
 pub mod errors;
 pub mod fault;
@@ -73,6 +74,8 @@ pub mod telemetry;
 #[cfg(test)]
 mod tests;
 #[cfg(test)]
+mod tests_causal;
+#[cfg(test)]
 mod tests_check;
 #[cfg(test)]
 mod tests_edge;
@@ -88,6 +91,7 @@ pub mod trace;
 pub mod tune;
 pub mod vsid;
 
+pub use causal::{CausalConfig, CausalPath, CausalState, Ratio};
 pub use check::{CheckConfig, CheckState};
 pub use errors::{KResult, KernelError, Signal};
 pub use hostprof::{HostPhase, HostSnapshot, PhaseCounters};

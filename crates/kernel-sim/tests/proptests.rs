@@ -447,3 +447,56 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The causal-profiling identity guarantee, fuzzed: *any* all-1/1
+    /// [`CausalConfig`] — every ratio num == den, values arbitrary — must
+    /// be cycle- and counter-identical to a plain `causal: None` run, on
+    /// every sampled kernel configuration. The workload is kept small
+    /// (each case boots two kernels); the fixed-ratio identity matrix over
+    /// full workloads lives in the kernel-sim unit tests.
+    #[test]
+    fn random_all_one_causal_is_cycle_identical(
+        subs in proptest::collection::vec(
+            1u32..1001,
+            kernel_sim::prof::NUM_SUBSYSTEMS..kernel_sim::prof::NUM_SUBSYSTEMS + 1,
+        ),
+        paths in proptest::collection::vec(
+            1u32..1001,
+            kernel_sim::causal::NUM_PATHS..kernel_sim::causal::NUM_PATHS + 1,
+        ),
+        optimized in any::<bool>(),
+    ) {
+        use kernel_sim::causal::{CausalConfig, Ratio};
+
+        let mut causal = CausalConfig::identity();
+        for (i, &d) in subs.iter().enumerate() {
+            causal.subsystem[i] = Ratio { num: d, den: d };
+        }
+        for (i, &d) in paths.iter().enumerate() {
+            causal.path[i] = Ratio { num: d, den: d };
+        }
+        let run = |causal: Option<CausalConfig>| {
+            let mut cfg = if optimized {
+                KernelConfig::optimized()
+            } else {
+                KernelConfig::unoptimized()
+            };
+            cfg.causal = causal;
+            let mut k = Kernel::boot(MachineConfig::ppc604_185(), cfg);
+            let pid = k.spawn_process(8).expect("spawn");
+            k.switch_to(pid);
+            let base = k.sys_mmap(None, 8 * PAGE_SIZE);
+            for i in 0..8 {
+                k.user_write(base + i * PAGE_SIZE, 64).expect("mapped");
+            }
+            k.run_idle(10_000);
+            k.sys_munmap(base, 8 * PAGE_SIZE);
+            k.sys_null();
+            (k.machine.cycles, k.stats)
+        };
+        let plain = run(None);
+        let ident = run(Some(causal));
+        prop_assert_eq!(plain, ident, "all-1/1 must be invisible");
+    }
+}

@@ -68,6 +68,13 @@ pub struct Machine {
     /// `None` on machines not being monitored — the PMU is pure bookkeeping
     /// and never changes timing, so absence and presence are cycle-identical.
     pub pmu: Option<Pmu>,
+    /// Causal-profiling charge scale numerator. Every cycle charge is
+    /// multiplied by `scale_num/scale_den` (floored) before it reaches the
+    /// clock. At the default 1/1 `advance` short-circuits, so an unscaled
+    /// machine is bit-for-bit identical to one that never heard of scaling.
+    scale_num: u64,
+    /// Causal-profiling charge scale denominator (never zero).
+    scale_den: u64,
 }
 
 impl Machine {
@@ -79,7 +86,40 @@ impl Machine {
             mem: MemSystem::new(cfg.mem),
             cycles: 0,
             pmu: None,
+            scale_num: 1,
+            scale_den: 1,
         }
+    }
+
+    /// Sets the causal charge scale: subsequent charges advance the clock by
+    /// `floor(c * num / den)` instead of `c`. Only the clock is scaled —
+    /// cache and TLB state evolve exactly as in an unscaled run, which is
+    /// what makes a scaled run an exact what-if rather than a model fit.
+    pub fn set_scale(&mut self, num: u64, den: u64) {
+        assert!(den != 0, "charge scale denominator must be nonzero");
+        self.scale_num = num;
+        self.scale_den = den;
+    }
+
+    /// The current causal charge scale as `(num, den)`.
+    pub fn scale(&self) -> (u64, u64) {
+        (self.scale_num, self.scale_den)
+    }
+
+    /// Advances the clock by `c` through the causal multiplier and returns
+    /// the cycles actually charged, so callers' returned costs always match
+    /// observed clock deltas. Each charge floors independently (no remainder
+    /// carry) — memoryless, hence deterministic, and exact at 1/1 and at
+    /// num = 0, the two cases the identity and zeroing gates rely on.
+    #[inline]
+    fn advance(&mut self, c: Cycles) -> Cycles {
+        let c = if self.scale_num == self.scale_den {
+            c
+        } else {
+            ((c as u128 * self.scale_num as u128) / self.scale_den as u128) as Cycles
+        };
+        self.cycles += c;
+        c
     }
 
     /// Synchronises the PMU (if installed) with the machine counters: the
@@ -99,27 +139,35 @@ impl Machine {
         // Host-profiler phase hook: the charge phase lives in ppc-mmu's host
         // module (the lowest crate both this one and the profiler can see).
         let _host = ppc_mmu::host::span(ppc_mmu::host::PHASE_CHARGE);
+        self.advance(cycles);
+    }
+
+    /// Advances the clock by `cycles` of pure *elapsed time* — waiting on
+    /// something external (an I/O stall), not work the CPU performs.
+    /// Deliberately bypasses the causal charge scale: a virtual speedup can
+    /// make work cheaper, but it cannot make a device answer sooner. With
+    /// the scale at its 1/1 default this is exactly [`Machine::charge`]
+    /// minus the host-profiler hook.
+    pub fn wait(&mut self, cycles: Cycles) {
         self.cycles += cycles;
     }
 
     /// Executes `n` straight-line instructions whose fetch traffic is already
     /// accounted (or negligible): 1 cycle each.
     pub fn exec_insns(&mut self, n: u64) {
-        self.cycles += n;
+        self.advance(n);
     }
 
     /// Performs a data read at a known physical address.
     pub fn data_read_pa(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
         let c = self.mem.data_read(pa, cached);
-        self.cycles += c;
-        c
+        self.advance(c)
     }
 
     /// Performs a data write at a known physical address.
     pub fn data_write_pa(&mut self, pa: PhysAddr, cached: bool) -> Cycles {
         let c = self.mem.data_write(pa, cached);
-        self.cycles += c;
-        c
+        self.advance(c)
     }
 
     /// Fetches instructions from a known physical address, one access per
@@ -135,23 +183,20 @@ impl Machine {
             a += line;
         }
         let total = fetched + n_insns as Cycles;
-        self.cycles += total;
-        total
+        self.advance(total)
     }
 
     /// Zeroes one page at `page_pa`, through or around the cache (paper §9).
     pub fn zero_page_pa(&mut self, page_pa: PhysAddr, through_cache: bool) -> Cycles {
         let c = self.mem.zero_page(page_pa, PAGE_SIZE, through_cache);
-        self.cycles += c;
-        c
+        self.advance(c)
     }
 
     /// Zeroes one page with ordinary cached stores (the non-`dcbz`
     /// `clear_page()` the paper's kernel used, §9).
     pub fn zero_page_stores_pa(&mut self, page_pa: PhysAddr) -> Cycles {
         let c = self.mem.zero_page_stores(page_pa, PAGE_SIZE);
-        self.cycles += c;
-        c
+        self.advance(c)
     }
 
     /// Copies `bytes` between two physical regions through the data cache
@@ -169,8 +214,7 @@ impl Machine {
             c += 2;
             off += line;
         }
-        self.cycles += c;
-        c
+        self.advance(c)
     }
 
     /// The current simulated time.
@@ -263,6 +307,53 @@ mod tests {
         let d = s2.delta(&s1);
         assert_eq!(d.dcache.accesses, 1);
         assert!(d.cycles > 0);
+    }
+
+    #[test]
+    fn scale_halves_charges_and_returns_charged_amount() {
+        let mut m = Machine::new(MachineConfig::ppc604_185());
+        m.set_scale(1, 2);
+        let before = m.cycles;
+        m.charge(100);
+        assert_eq!(m.cycles - before, 50);
+        // Returned cost equals the clock delta, not the unscaled cost.
+        let c0 = m.cycles;
+        let c = m.data_read_pa(0x4000, true);
+        assert_eq!(c, m.cycles - c0);
+    }
+
+    #[test]
+    fn scale_floors_each_charge_independently() {
+        let mut m = Machine::new(MachineConfig::ppc604_185());
+        m.set_scale(1, 4);
+        // floor(3/4) + floor(3/4) = 0, not floor(6/4) = 1: no remainder carry.
+        m.charge(3);
+        m.charge(3);
+        assert_eq!(m.cycles, 0);
+    }
+
+    #[test]
+    fn scale_one_to_one_is_identity_and_zero_num_freezes_clock() {
+        let mut a = Machine::new(MachineConfig::ppc603_133());
+        let mut b = Machine::new(MachineConfig::ppc603_133());
+        b.set_scale(7, 7);
+        a.exec_code_pa(0x1000, 16, true);
+        b.exec_code_pa(0x1000, 16, true);
+        assert_eq!(a.cycles, b.cycles);
+
+        let mut z = Machine::new(MachineConfig::ppc603_133());
+        z.set_scale(0, 1);
+        let c = z.exec_code_pa(0x1000, 16, true);
+        assert_eq!((c, z.cycles), (0, 0));
+        // Cache state still evolved: only the clock was scaled.
+        assert_eq!(z.mem.icache.stats().misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn scale_rejects_zero_denominator() {
+        let mut m = Machine::new(MachineConfig::ppc604_185());
+        m.set_scale(1, 0);
     }
 
     #[test]

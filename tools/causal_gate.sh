@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# CI gate for the causal what-if profiler: the mmu-tricks-causal-v1
+# artifact must be complete, every cell's all-1/1 run must match its plain
+# baseline (identity_ok), two recordings must be byte-identical, the
+# E-CAUSAL ground-truth gates must hold, and every artifact schema in the
+# workspace must be registered in the `repro --help` schema table.
+. "$(dirname "$0")/gate_lib.sh"
+
+repro causal --depth quick --json "$out/causal.json" >/dev/null
+
+require_keys "$out/causal.json" \
+    '"schema": "mmu-tricks-causal-v1"' '"depth"' '"config"' \
+    '"causal": "grid-f0-25-50-75"' '"identity_ok"' '"cells"' \
+    '"baseline_cycles"' '"identity_cycles"' '"targets"' \
+    '"path:tlb_reload"' '"path:page_fault"' '"path:htab_rehash"' \
+    '"path:flush"' '"path:signal_delivery"' '"sub:idle"' \
+    '"payoff_ppm"' '"marginal_ppm_per_pct"' '"ranking"'
+
+# The identity guarantee, live in the recording itself: every cell ran a
+# real all-1/1 causal config next to its plain baseline and the cycle
+# totals matched. 0 here means the scaling engine leaked into an
+# unscaled run.
+require_contains "$out/causal.json" '"identity_ok": 1' \
+    "a factor-0 causal run diverged from its plain baseline"
+
+# Determinism: payoff curves and the marginal ranking are exact re-runs of
+# a deterministic simulator — a second recording must be byte-identical.
+repro causal --depth quick --json "$out/causal2.json" >/dev/null
+require_byte_identical "$out/causal.json" "$out/causal2.json" \
+    "two causal recordings differ (virtual speedups are nondeterministic)"
+
+# The artifact must plug into the diff surface (self-diff parses clean;
+# the causal identity header refusing plain artifacts is unit-tested).
+require_diff_accepts "$out/causal.json" "$out/causal2.json"
+
+# E-CAUSAL ground truth: the zeroed reload path must explain the measured
+# 603 swload-vs-nohtab delta, a virtual idle-task speedup must buy ~0 on
+# the latency-bound fault storm (§9), and the trimmed grid must reproduce.
+repro ecausal --depth quick > "$out/ecausal.txt"
+require_contains "$out/ecausal.txt" 'delta explained: pass' \
+    "E-CAUSAL: zeroed reload path did not reproduce the measured row delta"
+require_contains "$out/ecausal.txt" 'idle buys nothing: pass' \
+    "E-CAUSAL: a virtual idle-task speedup bought real end-to-end time (§9)"
+require_contains "$out/ecausal.txt" 'reproducible: pass' \
+    "E-CAUSAL: causal recordings are not byte-reproducible"
+require_absent "$out/ecausal.txt" 'FAIL' "an E-CAUSAL gate failed"
+
+# Schema-registry completeness: every mmu-tricks-*-v* literal in the
+# workspace sources must appear in the `repro --help` artifact table, so
+# an artifact added without a registry row fails here, not in code review.
+repro --help > "$out/help.txt"
+for schema in $(grep -rhoE 'mmu-tricks-[a-z]+-v[0-9]+' crates/*/src | sort -u); do
+    if ! grep -q -- "$schema" "$out/help.txt"; then
+        gate_fail "schema $schema is not registered in the repro --help artifact table"
+    fi
+done
+
+gate_ok "causal gate OK: artifact complete, identity holds, recordings byte-identical, E-CAUSAL ground truth holds, schema registry complete"

@@ -1,0 +1,88 @@
+# Shared boilerplate for the tools/*_gate.sh CI gates. Source it first:
+#
+#     . "$(dirname "$0")/gate_lib.sh"
+#
+# It sets strict mode, cds to the repo root, creates a temp dir in $out
+# (removed on exit), and initializes the $fail accumulator. Helpers mark
+# failures with gate_fail and keep going, so one run reports every broken
+# check; finish with gate_ok "summary" to exit with the right status.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+fail=0
+
+# repro <args...>: the release harness binary, stdout passed through.
+repro() {
+    cargo run --release -p bench --bin repro -- "$@"
+}
+
+# gate_fail <message> [file-to-dump]: report one failed check and keep going.
+gate_fail() {
+    echo "FAIL: $1" >&2
+    if [ -n "${2:-}" ] && [ -f "${2:-}" ]; then
+        cat "$2" >&2
+    fi
+    fail=1
+}
+
+# require_keys <file> <key>...: every key must appear in the artifact.
+require_keys() {
+    local file="$1"
+    shift
+    local key
+    for key in "$@"; do
+        if ! grep -q -- "$key" "$file"; then
+            gate_fail "$(basename "$file") is missing $key"
+        fi
+    done
+}
+
+# require_contains <file> <pattern> <message>: grep or fail (dumps the file).
+require_contains() {
+    if ! grep -q -- "$2" "$1"; then
+        gate_fail "$3" "$1"
+    fi
+}
+
+# require_absent <file> <pattern> <message>: inverse of require_contains.
+require_absent() {
+    if grep -q -- "$2" "$1"; then
+        gate_fail "$3" "$1"
+    fi
+}
+
+# require_byte_identical <a> <b> <what>: the determinism check — two
+# recordings of the same artifact must be byte-for-byte equal.
+require_byte_identical() {
+    if ! cmp -s "$1" "$2"; then
+        echo "FAIL: $3" >&2
+        diff "$1" "$2" | head -20 >&2 || true
+        fail=1
+    fi
+}
+
+# require_diff_accepts <a> <b>: the artifact must plug into the diff
+# surface — `repro diff` parses both sides and renders the identity header.
+require_diff_accepts() {
+    repro diff "$1" "$2" > "$out/gate_diff.txt"
+    if ! grep -q 'config A:' "$out/gate_diff.txt"; then
+        gate_fail "repro diff did not accept $(basename "$1") vs $(basename "$2")"
+    fi
+}
+
+# json_number <file> <key>: the first integer value of "key" in a
+# deterministic integer-only artifact (empty if absent).
+json_number() {
+    grep -o "\"$2\": [0-9-]*" "$1" | head -1 | grep -o -- '[0-9-]*$'
+}
+
+# gate_ok <summary>: exit 1 if any check failed, else print the summary.
+gate_ok() {
+    if [ "$fail" -ne 0 ]; then
+        exit 1
+    fi
+    echo "$1"
+}

@@ -3,79 +3,46 @@
 # be complete, capture must cost zero cycles, two recordings must be
 # byte-identical, and the planted E-TAIL regression must be *attributed* —
 # the known cause has to win the ranking, not merely appear in it.
-set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/gate_lib.sh"
 
-out="$(mktemp -d)"
-trap 'rm -rf "$out"' EXIT
+repro tail --depth quick --json "$out/tail.json" >/dev/null
 
-cargo run --release -p bench --bin repro -- tail --depth quick \
-    --json "$out/tail.json" >/dev/null
-
-fail=0
-for key in '"schema": "mmu-tricks-tail-v1"' '"workload"' '"machine"' \
-           '"config"' '"tail"' '"total_cycles"' '"captured"' '"paths"' \
-           '"p99_exact"' '"causes"' '"top_cause"' '"exemplars"' \
-           '"above_median"' '"window_events"' '"htab_full_groups"'; do
-    if ! grep -q -- "$key" "$out/tail.json"; then
-        echo "FAIL: tail.json is missing $key" >&2
-        fail=1
-    fi
-done
+require_keys "$out/tail.json" \
+    '"schema": "mmu-tricks-tail-v1"' '"workload"' '"machine"' \
+    '"config"' '"tail"' '"total_cycles"' '"captured"' '"paths"' \
+    '"p99_exact"' '"causes"' '"top_cause"' '"exemplars"' \
+    '"above_median"' '"window_events"' '"htab_full_groups"'
 
 # The zero-overhead guarantee: the harness ran the reference workload with
 # capture dormant and armed and recorded the cycle difference. Any nonzero
 # value means threshold checks or exemplar assembly leaked into the
 # simulation clock.
-if ! grep -q '"overhead_cycles": 0,' "$out/tail.json"; then
-    echo "FAIL: tail-armed and dormant cycle totals diverge:" >&2
-    grep '"overhead_cycles"' "$out/tail.json" >&2 || true
-    fail=1
-fi
+require_contains "$out/tail.json" '"overhead_cycles": 0,' \
+    "tail-armed and dormant cycle totals diverge"
 
 # Capture must actually have retained exemplars (an empty reservoir would
 # make the overhead and determinism checks vacuous).
-captured="$(grep -o '"captured": [0-9]*' "$out/tail.json" | head -1 | grep -o '[0-9]*$')"
+captured="$(json_number "$out/tail.json" captured)"
 if [ -z "$captured" ] || [ "$captured" -lt 1 ]; then
-    echo "FAIL: tail capture retained no exemplars (got '${captured:-none}')" >&2
-    fail=1
+    gate_fail "tail capture retained no exemplars (got '${captured:-none}')"
 fi
 
 # Determinism: a second recording of the same run must be byte-identical —
 # same exemplars, same cycles, same attribution, same serialization.
-cargo run --release -p bench --bin repro -- tail --depth quick \
-    --json "$out/tail2.json" >/dev/null
-if ! cmp -s "$out/tail.json" "$out/tail2.json"; then
-    echo "FAIL: two tail recordings differ (capture is nondeterministic)" >&2
-    diff "$out/tail.json" "$out/tail2.json" | head -20 >&2 || true
-    fail=1
-fi
+repro tail --depth quick --json "$out/tail2.json" >/dev/null
+require_byte_identical "$out/tail.json" "$out/tail2.json" \
+    "two tail recordings differ (capture is nondeterministic)"
 
 # The artifact must plug into the diff surface: self-diff parses and is
 # clean (exit 0, no regressions against itself).
-cargo run --release -p bench --bin repro -- diff \
-    "$out/tail.json" "$out/tail2.json" > "$out/diff.txt"
-if ! grep -q 'config A:' "$out/diff.txt"; then
-    echo "FAIL: repro diff did not accept the tail artifact" >&2
-    fail=1
-fi
+require_diff_accepts "$out/tail.json" "$out/tail2.json"
 
 # The planted regression: E-TAIL saturates a 16-PTEG table so every
 # steady-state reload miss is a secondary-hash storm, then checks the
 # ranking. All three gates (attribution, zero-cost, determinism) must pass.
-cargo run --release -p bench --bin repro -- etail --depth quick > "$out/etail.txt"
-if ! grep -q 'storm attributed: pass' "$out/etail.txt"; then
-    echo "FAIL: E-TAIL did not attribute the planted PTEG-saturation storm" >&2
-    cat "$out/etail.txt" >&2
-    fail=1
-fi
-if grep -q 'FAIL' "$out/etail.txt"; then
-    echo "FAIL: an E-TAIL gate failed:" >&2
-    cat "$out/etail.txt" >&2
-    fail=1
-fi
+repro etail --depth quick > "$out/etail.txt"
+require_contains "$out/etail.txt" 'storm attributed: pass' \
+    "E-TAIL did not attribute the planted PTEG-saturation storm"
+require_absent "$out/etail.txt" 'FAIL' "an E-TAIL gate failed"
 
-if [ "$fail" -ne 0 ]; then
-    exit 1
-fi
-echo "tail gate OK: artifact complete, capture overhead = 0, recordings byte-identical, planted storm attributed"
+gate_ok "tail gate OK: artifact complete, capture overhead = 0, recordings byte-identical, planted storm attributed"

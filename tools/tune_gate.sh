@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for the PMU-guided tuning loop (`mmtune` + `repro tune`):
 #
-# 1. `repro tune` determinism: two runs of the descent emit byte-identical
-#    mmu-tricks-tune-v1 artifacts (the whole loop — kernel, controller,
-#    descent — is deterministic, so any drift is a real bug).
+# 1. `repro tune` determinism: a serial run and a `--jobs 4` run of the
+#    descent emit byte-identical mmu-tricks-tune-v1 artifacts (the whole
+#    loop — kernel, controller, descent — is deterministic, and the
+#    parallel path must not reorder or perturb it).
 # 2. Artifact shape: schema header, all four machine rows, a full config
 #    object per row.
 # 3. E-TUNE signs, re-checked from the artifact with shell arithmetic: the
@@ -25,10 +26,10 @@ fail=0
 # --- 1. determinism ---------------------------------------------------------
 cargo run --release -p bench --bin repro -- tune --depth quick \
     --json "$out/tune-a.json" >/dev/null
-cargo run --release -p bench --bin repro -- tune --depth quick \
+cargo run --release -p bench --bin repro -- tune --depth quick --jobs 4 \
     --json "$out/tune-b.json" >/dev/null
 if ! cmp -s "$out/tune-a.json" "$out/tune-b.json"; then
-    echo "FAIL: two repro tune runs are not byte-identical" >&2
+    echo "FAIL: serial and --jobs 4 repro tune runs are not byte-identical" >&2
     diff "$out/tune-a.json" "$out/tune-b.json" | head -5 >&2 || true
     fail=1
 fi
