@@ -12,7 +12,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use kernel_sim::hostprof;
+use kernel_sim::sched::USER_BASE;
 use kernel_sim::trace::{TraceEvent, TraceRecord, TraceRing};
+use kernel_sim::{Kernel, KernelConfig};
 use ppc_cache::hierarchy::{MemSystem, MemSystemConfig};
 use ppc_machine::{Machine, MachineConfig};
 use ppc_mmu::addr::{EffectiveAddress, Vsid};
@@ -155,6 +157,54 @@ fn bench_trace_write(c: &mut Criterion) {
     g.finish();
 }
 
+/// fused_hot_paths: the common-case memory reference — a resident load and
+/// a resident straight-line fetch — served by the fused single-function
+/// fast path versus the layered translate→charge→cache path (DESIGN.md
+/// §16). Both variants simulate identical cycles and counters; the host-ns
+/// ratio between the `_fused` and `_layered` rows is the microscopic
+/// version of the `repro hostbench` headline speedup.
+fn bench_fused_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_hot_paths");
+    let boot = |fused: bool| {
+        let mut cfg = KernelConfig::optimized();
+        cfg.fused = fused;
+        let mut k = Kernel::boot(MachineConfig::ppc604_133(), cfg);
+        let pid = k.spawn_process(8).unwrap();
+        k.switch_to(pid);
+        k.prefault(USER_BASE, 8).unwrap();
+        // Warm the TLB and both caches so the loop measures pure hits.
+        for i in 0..64 {
+            let ea = EffectiveAddress(USER_BASE + i * 32);
+            k.data_ref(ea, false).unwrap();
+            k.exec_code(ea, 8).unwrap();
+        }
+        k
+    };
+    // Stride cache lines *within* one page: page-stride addresses all land
+    // in cache set 0 and would measure the miss path instead of the hit.
+    for (name, fused) in [("data_ref_fused", true), ("data_ref_layered", false)] {
+        g.bench_function(name, |b| {
+            let mut k = boot(fused);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 64;
+                black_box(k.data_ref(EffectiveAddress(USER_BASE + i * 32), false).unwrap())
+            });
+        });
+    }
+    for (name, fused) in [("exec_code_fused", true), ("exec_code_layered", false)] {
+        g.bench_function(name, |b| {
+            let mut k = boot(fused);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 64;
+                black_box(k.exec_code(EffectiveAddress(USER_BASE + i * 32), 8).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
 /// hook_overhead: what the profiler itself costs at the hottest hook site.
 fn bench_hook_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("hook_overhead");
@@ -183,6 +233,7 @@ criterion_group!(
     bench_translate,
     bench_cache,
     bench_charge,
+    bench_fused_hot_paths,
     bench_trace_write,
     bench_hook_overhead
 );

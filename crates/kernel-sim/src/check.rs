@@ -81,6 +81,9 @@ pub struct CheckState {
     next_boundary: Cycles,
     /// Highest VSID-allocator generation seen (must never decrease).
     last_generation: u32,
+    /// Scratch for the heavy sweep's occupancy histogram, reused across
+    /// epochs so the sweep only allocates when the hash table grows.
+    hist_scratch: Vec<u8>,
 }
 
 impl CheckState {
@@ -94,6 +97,7 @@ impl CheckState {
             heavy_sweeps: 0,
             next_boundary: cfg.epoch_cycles.max(1),
             last_generation: 0,
+            hist_scratch: Vec::new(),
         }
     }
 }
@@ -158,7 +162,7 @@ impl Kernel {
                 c.next_boundary += c.cfg.epoch_cycles.max(1);
             }
             c.heavy_sweeps += 1;
-            if let Some(v) = self.heavy_sweep_violation(&c) {
+            if let Some(v) = self.heavy_sweep_violation(&mut c) {
                 self.check = Some(c);
                 self.check_fail(&v);
             }
@@ -174,7 +178,7 @@ impl Kernel {
         };
         let _host = hostprof::span(hostprof::HostPhase::Checker);
         c.heavy_sweeps += 1;
-        if let Some(v) = self.heavy_sweep_violation(&c) {
+        if let Some(v) = self.heavy_sweep_violation(&mut c) {
             self.check = Some(c);
             self.check_fail(&v);
         }
@@ -280,7 +284,7 @@ impl Kernel {
 
     /// The heavy epoch sweep: containment of resident translations in the
     /// oracle, and hash-table structural self-consistency.
-    fn heavy_sweep_violation(&self, c: &CheckState) -> Option<String> {
+    fn heavy_sweep_violation(&self, c: &mut CheckState) -> Option<String> {
         if c.cfg.oracle {
             // Every resident TLB entry under a live VSID must still be
             // legal. (Zombie entries — retired VSIDs — are exactly what
@@ -294,7 +298,7 @@ impl Kernel {
             for (name, tlb) in tlbs {
                 for e in tlb.entries().filter(|e| live(e.vsid)) {
                     if let Some(v) = c.oracle.check_observation(
-                        &format!("{name} residency sweep"),
+                        format_args!("{name} residency sweep"),
                         e.vsid,
                         e.page_index,
                         e.rpn,
@@ -337,7 +341,8 @@ impl Kernel {
                 }
             }
             // Occupancy summaries agree with the group contents.
-            let hist = self.htab.group_histogram();
+            self.htab.group_histogram_into(&mut c.hist_scratch);
+            let hist = &c.hist_scratch;
             if hist.len() != self.htab.hash().num_groups() as usize {
                 return Some(format!(
                     "htab occupancy: histogram covers {} groups, hash says {}",
@@ -434,7 +439,7 @@ impl Kernel {
             let va = self.machine.mmu.segments.translate(ea);
             let side = if at.is_data() { "dtlb" } else { "itlb" };
             if let Some(v) = c.oracle.check_observation(
-                &format!("{side} hit for ea={:#x}", ea.0),
+                format_args!("{side} hit for ea={:#x}", ea.0),
                 va.vsid,
                 va.page_index,
                 pa >> 12,

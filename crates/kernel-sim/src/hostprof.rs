@@ -7,9 +7,11 @@
 //!
 //! 1. **Where does host time go?** Coarse RAII spans classify execution into
 //!    eight [`HostPhase`]s (translate, cache, charge, trace-write, telemetry,
-//!    checker, workload-driver, other). Span *counts* are exact; span
-//!    *timestamps* are stride-sampled (every [`SAMPLE_STRIDE`]th entry takes
-//!    an `Instant` pair) so the measurement does not dominate the hot paths
+//!    checker, workload-driver, other). Span *counts* are exact (tallied in
+//!    plain thread-local cells, flushed to the global counters at every
+//!    [`snapshot`]/[`disarm`] and on thread exit); span *timestamps* are
+//!    stride-sampled (every [`SAMPLE_STRIDE`]th entry per thread takes an
+//!    `Instant` pair) so the measurement does not dominate the hot paths
 //!    it measures. Sampled durations are inclusive of nested spans.
 //!
 //! 2. **Where do host allocations go?** A counting [`GlobalAlloc`]
@@ -109,7 +111,7 @@ impl HostPhase {
     }
 }
 
-/// Every `SAMPLE_STRIDE`th span entry per phase takes an `Instant` pair.
+/// Every `SAMPLE_STRIDE`th span entry per thread takes an `Instant` pair.
 /// 64 keeps timing overhead ~2% of span overhead while still collecting
 /// thousands of samples per hostbench pass.
 pub const SAMPLE_STRIDE: u64 = 64;
@@ -142,6 +144,51 @@ thread_local! {
     // Current phase of this thread. `const` init: accessing it never
     // allocates, which matters because the allocator hook reads it.
     static CUR_PHASE: Cell<u8> = const { Cell::new(HostPhase::Other as u8) };
+
+    // Per-thread span tallies, flushed into the global [`SPANS`] atomics by
+    // [`flush_tls_spans`] (every [`snapshot`]/[`disarm`] on this thread) and
+    // by the drop guard when the thread exits. Hot spans pay two plain
+    // cell bumps instead of a `lock xadd` on a shared cache line; counts
+    // stay exact at every snapshot a thread takes of its own work, and
+    // worker threads joined before a snapshot flush on exit, so their
+    // counts are visible too (join is a happens-before edge).
+    static TLS_SPANS: TlsSpans = const {
+        TlsSpans {
+            counts: [const { Cell::new(0) }; NUM_PHASES],
+            entries: Cell::new(0),
+        }
+    };
+}
+
+/// Per-thread span state (see [`TLS_SPANS`]).
+struct TlsSpans {
+    /// Unflushed span entries per phase.
+    counts: [Cell<u64>; NUM_PHASES],
+    /// Monotone entry counter driving the per-thread sampling stride.
+    entries: Cell<u64>,
+}
+
+impl Drop for TlsSpans {
+    fn drop(&mut self) {
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.replace(0);
+            if n > 0 {
+                SPANS[i].fetch_add(n, Relaxed);
+            }
+        }
+    }
+}
+
+/// Flushes the calling thread's span tallies into the global counters.
+fn flush_tls_spans() {
+    let _ = TLS_SPANS.try_with(|t| {
+        for (i, c) in t.counts.iter().enumerate() {
+            let n = c.replace(0);
+            if n > 0 {
+                SPANS[i].fetch_add(n, Relaxed);
+            }
+        }
+    });
 }
 
 fn now_ns() -> u64 {
@@ -154,7 +201,9 @@ pub fn arm() {
     // The EPOCH must exist before any hook can race to time a span.
     let _ = EPOCH.get_or_init(Instant::now);
     ppc_mmu::host::install(hook_enter, hook_exit);
+    ppc_mmu::host::install_bulk(hook_bulk);
     ppc_cache::host::install(hook_enter, hook_exit);
+    ppc_cache::host::install_bulk(hook_bulk_cache);
     ARMED.store(true, Relaxed);
 }
 
@@ -163,6 +212,7 @@ pub fn disarm() {
     ARMED.store(false, Relaxed);
     ppc_mmu::host::disable();
     ppc_cache::host::disable();
+    flush_tls_spans();
 }
 
 /// True while armed.
@@ -173,6 +223,7 @@ pub fn armed() -> bool {
 
 /// Zeroes every counter and re-bases the live/peak ledger.
 pub fn reset() {
+    flush_tls_spans();
     for i in 0..NUM_PHASES {
         SPANS[i].store(0, Relaxed);
         ALLOCS[i].store(0, Relaxed);
@@ -196,8 +247,13 @@ pub fn reset_peak() {
 /// `(previous_phase, start_ns)`; `start_ns == u64::MAX` means untimed.
 pub fn hook_enter(phase: u8) -> (u8, u64) {
     let idx = (phase as usize).min(NUM_PHASES - 1);
-    let n = SPANS[idx].fetch_add(1, Relaxed);
     let prev = CUR_PHASE.with(|c| c.replace(idx as u8));
+    let n = TLS_SPANS.with(|t| {
+        t.counts[idx].set(t.counts[idx].get() + 1);
+        let n = t.entries.get();
+        t.entries.set(n + 1);
+        n
+    });
     let start_ns = if n.is_multiple_of(SAMPLE_STRIDE) {
         now_ns()
     } else {
@@ -215,6 +271,34 @@ pub fn hook_exit(prev: u8, phase: u8, start_ns: u64) {
         SAMPLES[idx].fetch_add(1, Relaxed);
     }
     CUR_PHASE.with(|c| c.set(prev));
+}
+
+/// Bulk span-count hook, installed into `ppc_mmu::host` for the fused fast
+/// path: adds batched `(translate, cache, charge)` span counts in one call
+/// each. Span counts are order-independent sums, so this is *exact* — the
+/// fused path reports the same per-phase span totals the layered RAII guards
+/// would have. Only the stride-sampled timing estimate (already masked out
+/// of the deterministic artifact section) loses candidate sample points, and
+/// the thread's current phase is left untouched: the fused path allocates
+/// nothing, so there is nothing to attribute.
+pub fn hook_bulk(translate: u64, cache: u64, charge: u64) {
+    TLS_SPANS.with(|t| {
+        let tr = &t.counts[HostPhase::Translate as usize];
+        tr.set(tr.get() + translate);
+        let ca = &t.counts[HostPhase::Cache as usize];
+        ca.set(ca.get() + cache);
+        let ch = &t.counts[HostPhase::Charge as usize];
+        ch.set(ch.get() + charge);
+    });
+}
+
+/// The cache-crate bulk hook (`ppc_cache::host::BulkFn`): span counts from
+/// the fused page-zero and region-copy loops, batched but exact.
+pub fn hook_bulk_cache(spans: u64) {
+    TLS_SPANS.with(|t| {
+        let ca = &t.counts[HostPhase::Cache as usize];
+        ca.set(ca.get() + spans);
+    });
 }
 
 /// RAII phase guard for code inside this crate (and above it). Identical
@@ -377,7 +461,11 @@ pub struct HostSnapshot {
 }
 
 /// Reads every counter (relaxed; exact when no other thread is mid-span).
+/// Flushes the calling thread's span tallies first, so a thread snapshotting
+/// around its own work always sees exact span counts; worker threads flush
+/// on exit, so joined threads' counts are visible too.
 pub fn snapshot() -> HostSnapshot {
+    flush_tls_spans();
     let mut phases = [PhaseCounters::default(); NUM_PHASES];
     for (i, p) in phases.iter_mut().enumerate() {
         *p = PhaseCounters {
@@ -514,8 +602,12 @@ mod tests {
         let after = snapshot();
         disarm();
         let d = after.delta(&before);
+        // Driver counts are exact: only these tests (serialized by the arm
+        // lock) ever open Driver spans in this process. Translate counts are
+        // `>=`: while armed, a concurrently running simulation test in this
+        // binary legitimately reports its own translate spans/allocs.
         assert_eq!(d.phases[HostPhase::Driver as usize].spans, 1);
-        assert_eq!(d.phases[HostPhase::Translate as usize].spans, 1);
+        assert!(d.phases[HostPhase::Translate as usize].spans >= 1);
         assert!(d.phases[HostPhase::Translate as usize].allocs >= 1);
         assert!(
             d.phases[HostPhase::Driver as usize].allocs >= 1,
@@ -538,8 +630,30 @@ mod tests {
         let after = snapshot();
         disarm();
         let d = after.delta(&before);
-        assert_eq!(d.phases[HostPhase::Translate as usize].spans, 1);
-        assert_eq!(d.phases[HostPhase::Cache as usize].spans, 1);
+        // `>=`, not `==`: while armed, concurrently running simulation tests
+        // in this binary also report into these phases. What this test pins
+        // is the wiring — each leaf-crate guard reached this module at all.
+        assert!(d.phases[HostPhase::Translate as usize].spans >= 1);
+        assert!(d.phases[HostPhase::Cache as usize].spans >= 1);
+    }
+
+    #[test]
+    fn bulk_hook_adds_exact_span_counts() {
+        let _g = ARM_LOCK.lock().unwrap();
+        disarm();
+        reset();
+        // Dormant, the leaf-crate entry point is a no-op...
+        let before = snapshot();
+        ppc_mmu::host::bulk(3, 2, 1);
+        assert_eq!(snapshot(), before);
+        // ...and the installed hook adds exact counts. Tested disarmed (and
+        // under the arm lock) so no concurrent test's simulation can move
+        // these counters mid-assertion.
+        hook_bulk(3, 2, 1);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.phases[HostPhase::Translate as usize].spans, 3);
+        assert_eq!(d.phases[HostPhase::Cache as usize].spans, 2);
+        assert_eq!(d.phases[HostPhase::Charge as usize].spans, 1);
     }
 
     #[test]

@@ -267,6 +267,16 @@ pub struct KernelConfig {
     /// from [`KernelConfig::summary`]; the `mmu-tricks-causal-v1` artifact
     /// carries its own `causal` header instead.
     pub causal: Option<crate::causal::CausalConfig>,
+
+    /// Use the fused common-case fast path (DESIGN.md §16): TLB/BAT hit +
+    /// L1 hit + charge scale 1/1 memory references run through one flat
+    /// function instead of the layered translate → charge → cache chain.
+    /// Purely a *host-side encoding choice*: a fused run is simulated-cycle-
+    /// and counter-identical to a layered one (the grid identity test and
+    /// the differential proptest pin this), so it is excluded from
+    /// [`KernelConfig::summary`]. `false` exists for differential testing,
+    /// not as a feature knob.
+    pub fused: bool,
 }
 
 impl KernelConfig {
@@ -299,6 +309,7 @@ impl KernelConfig {
             check: None,
             tail: None,
             causal: None,
+            fused: true,
         }
     }
 
@@ -329,6 +340,7 @@ impl KernelConfig {
             check: None,
             tail: None,
             causal: None,
+            fused: true,
         }
     }
 

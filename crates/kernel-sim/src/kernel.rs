@@ -931,8 +931,22 @@ impl Kernel {
         panic!("translation for {:#x} did not converge", ea.0)
     }
 
+    /// Whether the fused fast path may serve memory references: enabled in
+    /// the config and no checker armed (the oracle audits every BAT/TLB hit,
+    /// which requires the layered path). The causal charge scale is checked
+    /// *inside* the fused functions — it can flip mid-run.
+    #[inline]
+    fn fastpath_ok(&self) -> bool {
+        self.cfg.fused && self.check.is_none()
+    }
+
     /// One user/kernel data reference (a load or store of one word).
     pub fn data_ref(&mut self, ea: EffectiveAddress, write: bool) -> KResult<Cycles> {
+        if self.fastpath_ok() {
+            if let Some(c) = self.machine.fused_data_ref(ea, write) {
+                return Ok(c);
+            }
+        }
         let at = if write {
             AccessType::DataWrite
         } else {
@@ -957,8 +971,16 @@ impl Kernel {
         while remaining > 0 {
             let page_end = (addr & !(PAGE_SIZE - 1)) + PAGE_SIZE;
             let insns_here = remaining.min((page_end - addr) / 4);
-            let (pa, cached) = self.translate_ref(EffectiveAddress(addr), AccessType::InsnFetch)?;
-            self.machine.exec_code_pa(pa, insns_here, cached);
+            let fused = self.fastpath_ok()
+                && self
+                    .machine
+                    .fused_exec_code(EffectiveAddress(addr), insns_here)
+                    .is_some();
+            if !fused {
+                let (pa, cached) =
+                    self.translate_ref(EffectiveAddress(addr), AccessType::InsnFetch)?;
+                self.machine.exec_code_pa(pa, insns_here, cached);
+            }
             addr = page_end;
             remaining -= insns_here;
         }

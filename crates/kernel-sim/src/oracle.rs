@@ -76,8 +76,10 @@ impl ShadowMm {
     /// kernel flushed it eagerly or merely bumped the VSIDs and left zombies
     /// behind.
     pub fn retire_vsids(&mut self, vsids: &[Vsid]) {
-        let raw: Vec<u32> = vsids.iter().map(|v| v.raw()).collect();
-        self.map.retain(|(v, _), _| !raw.contains(v));
+        // 16 VSIDs at most (one address space): a linear scan beats
+        // allocating a scratch Vec on this per-context-switch path.
+        self.map
+            .retain(|(v, _), _| !vsids.iter().any(|x| x.raw() == *v));
     }
 
     /// The modelled translation for `(vsid, page_index)`, if legal.
@@ -88,9 +90,14 @@ impl ShadowMm {
     /// Cross-checks one positive observation `(rpn, writable, cached)` the
     /// hardware made for `(vsid, page_index)` against the model. Returns a
     /// human-readable violation description, or `None` when consistent.
+    ///
+    /// `what` is any `Display` — callers on hot sweep paths pass a
+    /// `format_args!(..)` so the description is only materialized into a
+    /// `String` on an actual violation (checker sweeps run millions of
+    /// consistent checks per run; violations are terminal).
     pub fn check_observation(
         &self,
-        what: &str,
+        what: impl std::fmt::Display,
         vsid: Vsid,
         page_index: u32,
         rpn: u32,

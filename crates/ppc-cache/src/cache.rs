@@ -68,12 +68,27 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Every line in one contiguous allocation, indexed `set * ways + way`.
+    /// One slab instead of a `Vec<Vec<_>>` keeps a whole set on one or two
+    /// host cache lines — the hot probe touches no pointer indirection.
+    lines: Box<[Line]>,
+    /// The tag of each *valid* line, same indexing as `lines`, with invalid
+    /// ways parked at [`INVALID_TAG`]. The way scan in [`Cache::find`] — the
+    /// single hottest loop in the simulator, under every probe, fill and
+    /// burst — compares `ways` contiguous `u32`s and nothing else; the
+    /// sentinel folds the validity check into the tag compare (real tags
+    /// are `addr >> (set_shift + set_bits)` with `set_shift >= 2`, so they
+    /// can never reach `u32::MAX`).
+    tags: Box<[u32]>,
+    ways: usize,
     stats: CacheStats,
     tick: u64,
     set_shift: u32,
     set_mask: u32,
 }
+
+/// Tag sentinel for an invalid way (see [`Cache::tags`]).
+const INVALID_TAG: u32 = u32::MAX;
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
@@ -83,12 +98,16 @@ impl Cache {
     /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
-        let sets = vec![vec![Line::default(); cfg.ways as usize]; cfg.num_sets() as usize];
+        let ways = cfg.ways as usize;
+        let lines = vec![Line::default(); ways * cfg.num_sets() as usize].into_boxed_slice();
+        let tags = vec![INVALID_TAG; lines.len()].into_boxed_slice();
         let set_shift = cfg.line_bytes.trailing_zeros();
         let set_mask = cfg.num_sets() - 1;
         Self {
             cfg,
-            sets,
+            lines,
+            tags,
+            ways,
             stats: CacheStats::default(),
             tick: 0,
             set_shift,
@@ -111,29 +130,93 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn index(&self, addr: PhysAddr) -> (usize, u32) {
         let set = (addr >> self.set_shift) & self.set_mask;
         let tag = addr >> (self.set_shift + self.set_mask.count_ones());
         (set as usize, tag)
     }
 
+    /// Finds the resident line for `(set, tag)`, as a flat index into
+    /// `self.lines`.
+    #[inline]
     fn find(&self, set: usize, tag: u32) -> Option<usize> {
-        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| base + w)
     }
 
     /// Picks the replacement victim in `set`: an invalid way if one exists,
     /// otherwise the least recently used unlocked way. Returns `None` if every
-    /// way is locked (the access then bypasses the cache).
+    /// way is locked (the access then bypasses the cache). Flat index.
     fn victim(&self, set: usize) -> Option<usize> {
-        if let Some(i) = self.sets[set].iter().position(|l| !l.valid) {
-            return Some(i);
+        let base = set * self.ways;
+        let set_lines = &self.lines[base..base + self.ways];
+        if let Some(i) = set_lines.iter().position(|l| !l.valid) {
+            return Some(base + i);
         }
-        self.sets[set]
+        set_lines
             .iter()
             .enumerate()
             .filter(|(_, l)| !l.locked)
             .min_by_key(|(_, l)| l.lru)
-            .map(|(i, _)| i)
+            .map(|(i, _)| base + i)
+    }
+
+    /// The fused fast path's hit probe: commits exactly the bookkeeping
+    /// [`Cache::access`] performs on a hit (tick, demand counters, LRU,
+    /// dirty/write-through) and returns the write-through flag — or returns
+    /// `None` on a miss *without touching any state*, so the caller can fall
+    /// back to the full [`Cache::access`], which then counts the miss (and
+    /// the tick) exactly once.
+    #[inline]
+    pub fn fast_hit(&mut self, addr: PhysAddr, kind: AccessKind) -> Option<bool> {
+        let (set, tag) = self.index(addr);
+        let idx = self.find(set, tag)?;
+        self.tick += 1;
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        let mut wrote_through = false;
+        let line = &mut self.lines[idx];
+        line.lru = self.tick;
+        if kind == AccessKind::Write {
+            match self.cfg.write_policy {
+                WritePolicy::WriteBack => line.dirty = true,
+                WritePolicy::WriteThrough => wrote_through = true,
+            }
+        }
+        Some(wrote_through)
+    }
+
+    /// Burst form of [`Cache::fast_hit`]: commits the bookkeeping of `n`
+    /// consecutive [`Cache::fast_hit`] calls to the *same* line in one step
+    /// (the tick, demand and hit counters each advance by `n`; the LRU stamp
+    /// lands on the final tick, exactly where `n` repeated probes would leave
+    /// it; the dirty/write-through resolution is identical for every access
+    /// in the burst, so it is applied once and returned). Returns `None` on a
+    /// miss *without touching any state*. `n == 0` is also a no-op.
+    #[inline]
+    pub fn fast_hit_n(&mut self, addr: PhysAddr, kind: AccessKind, n: u64) -> Option<bool> {
+        if n == 0 {
+            return Some(false);
+        }
+        let (set, tag) = self.index(addr);
+        let idx = self.find(set, tag)?;
+        self.tick += n;
+        self.stats.accesses += n;
+        self.stats.hits += n;
+        let mut wrote_through = false;
+        let line = &mut self.lines[idx];
+        line.lru = self.tick;
+        if kind == AccessKind::Write {
+            match self.cfg.write_policy {
+                WritePolicy::WriteBack => line.dirty = true,
+                WritePolicy::WriteThrough => wrote_through = true,
+            }
+        }
+        Some(wrote_through)
     }
 
     /// Performs a cacheable access and returns what happened.
@@ -141,9 +224,9 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (set, tag) = self.index(addr);
-        if let Some(way) = self.find(set, tag) {
+        if let Some(idx) = self.find(set, tag) {
             self.stats.hits += 1;
-            let line = &mut self.sets[set][way];
+            let line = &mut self.lines[idx];
             line.lru = self.tick;
             let mut wrote_through = false;
             if kind == AccessKind::Write {
@@ -158,7 +241,7 @@ impl Cache {
             };
         }
         self.stats.misses += 1;
-        let Some(way) = self.victim(set) else {
+        let Some(idx) = self.victim(set) else {
             // Every way locked: treat as an uncached access.
             self.stats.inhibited += 1;
             return CacheOutcome {
@@ -169,7 +252,7 @@ impl Cache {
                 victim_pa: None,
             };
         };
-        let line = &mut self.sets[set][way];
+        let line = &mut self.lines[idx];
         let evicted = line.valid;
         let writeback = line.valid && line.dirty;
         let victim_pa = writeback.then(|| {
@@ -198,6 +281,7 @@ impl Cache {
             tag,
             lru: self.tick,
         };
+        self.tags[idx] = tag;
         CacheOutcome {
             hit: false,
             evicted,
@@ -251,8 +335,8 @@ impl Cache {
     pub fn set_locked(&mut self, addr: PhysAddr, locked: bool) -> bool {
         let (set, tag) = self.index(addr);
         match self.find(set, tag) {
-            Some(way) => {
-                self.sets[set][way].locked = locked;
+            Some(idx) => {
+                self.lines[idx].locked = locked;
                 true
             }
             None => false,
@@ -261,10 +345,8 @@ impl Cache {
 
     /// Unlocks every line.
     pub fn unlock_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.locked = false;
-            }
+        for line in &mut self.lines {
+            line.locked = false;
         }
     }
 
@@ -277,32 +359,30 @@ impl Cache {
     /// Invalidates every line, discarding dirty data (like `hid0` flash
     /// invalidate). Dirty lines are *not* written back.
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
-            }
+        for line in &mut self.lines {
+            *line = Line::default();
         }
+        self.tags.fill(INVALID_TAG);
     }
 
     /// Writes back and invalidates every line, returning the number of dirty
     /// lines flushed (each costs a bus write in the memory system).
     pub fn flush_all(&mut self) -> u64 {
         let mut flushed = 0;
-        for set in &mut self.sets {
-            for line in set {
-                if line.valid && line.dirty {
-                    flushed += 1;
-                    self.stats.writebacks += 1;
-                }
-                *line = Line::default();
+        for line in &mut self.lines {
+            if line.valid && line.dirty {
+                flushed += 1;
+                self.stats.writebacks += 1;
             }
+            *line = Line::default();
         }
+        self.tags.fill(INVALID_TAG);
         flushed
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> u64 {
-        self.sets.iter().flatten().filter(|l| l.valid).count() as u64
+        self.lines.iter().filter(|l| l.valid).count() as u64
     }
 }
 

@@ -155,6 +155,12 @@ impl MemSystem {
             self.dcache.access_inhibited();
             return self.bus.read_beat;
         }
+        self.data_read_cached(pa)
+    }
+
+    /// The cached read path without the profiler span — the fused bulk
+    /// loops below report their span counts in one exact batch instead.
+    fn data_read_cached(&mut self, pa: PhysAddr) -> Cycles {
         let out = self.dcache.access(pa, AccessKind::Read);
         let mut cost = if out.hit {
             self.dcache.config().hit_cycles
@@ -174,6 +180,12 @@ impl MemSystem {
             self.dcache.access_inhibited();
             return self.bus.write_beat;
         }
+        self.data_write_cached(pa)
+    }
+
+    /// The cached write path without the profiler span (see
+    /// [`MemSystem::data_read_cached`]).
+    fn data_write_cached(&mut self, pa: PhysAddr) -> Cycles {
         let out = self.dcache.access(pa, AccessKind::Write);
         let mut cost = if out.hit {
             self.dcache.config().hit_cycles
@@ -216,17 +228,72 @@ impl MemSystem {
     /// total cycle cost.
     pub fn zero_page_stores(&mut self, page_pa: PhysAddr, page_bytes: u32) -> Cycles {
         let line = self.dcache.config().line_bytes;
+        let hit_cycles = self.dcache.config().hit_cycles;
+        let write_beat = self.bus.write_beat;
+        let words = line / 4;
         let mut cost = 0;
         let mut addr = page_pa;
         while addr < page_pa + page_bytes {
             // One store per word; the first store of a line pays the fill,
-            // the remaining seven hit. Model as one write access per word.
-            for w in 0..line / 4 {
-                cost += self.data_write(addr + w * 4, true);
-            }
+            // and the remaining words hit the now-resident line, so their
+            // bookkeeping commits in one burst probe. A locked set (the
+            // first store allocated nothing) falls back to per-word stores.
+            cost += match self.dcache.fast_hit(addr, AccessKind::Write) {
+                Some(true) => hit_cycles + write_beat,
+                Some(false) => hit_cycles,
+                None => self.data_write_cached(addr),
+            };
+            let rest = u64::from(words - 1);
+            cost += match self.dcache.fast_hit_n(addr + 4, AccessKind::Write, rest) {
+                Some(true) => rest * (hit_cycles + write_beat),
+                Some(false) => rest * hit_cycles,
+                None => {
+                    let mut c = 0;
+                    for w in 1..words {
+                        c += match self.dcache.fast_hit(addr + w * 4, AccessKind::Write) {
+                            Some(true) => hit_cycles + write_beat,
+                            Some(false) => hit_cycles,
+                            None => self.data_write_cached(addr + w * 4),
+                        };
+                    }
+                    c
+                }
+            };
             addr += line;
         }
+        crate::host::bulk_cache(u64::from(page_bytes / 4));
         cost
+    }
+
+    /// Copies `bytes` between two physical regions through the data cache:
+    /// one read of each source line, one write of each destination line,
+    /// plus two loop cycles of address arithmetic per line — the memory
+    /// half of kernel `copy_to/from_user` and pipe buffer copies. The
+    /// resident-line common case takes the flat probe; misses take the full
+    /// fill/writeback paths. One batched span count per call.
+    pub fn copy_range(&mut self, src: PhysAddr, dst: PhysAddr, bytes: u32) -> Cycles {
+        let line = self.dcache.config().line_bytes;
+        let hit_cycles = self.dcache.config().hit_cycles;
+        let write_beat = self.bus.write_beat;
+        let mut c: Cycles = 0;
+        let mut off = 0;
+        let mut lines: u64 = 0;
+        while off < bytes {
+            c += match self.dcache.fast_hit(src + off, AccessKind::Read) {
+                Some(_) => hit_cycles,
+                None => self.data_read_cached(src + off),
+            };
+            c += match self.dcache.fast_hit(dst + off, AccessKind::Write) {
+                Some(true) => hit_cycles + write_beat,
+                Some(false) => hit_cycles,
+                None => self.data_write_cached(dst + off),
+            };
+            c += 2;
+            off += line;
+            lines += 1;
+        }
+        crate::host::bulk_cache(2 * lines);
+        c
     }
 
     /// Zeroes a whole page. `through_cache` selects between `dcbz` line

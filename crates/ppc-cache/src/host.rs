@@ -23,8 +23,32 @@ pub type EnterFn = fn(u8) -> (u8, u64);
 /// Called on span exit with `(previous_phase, phase, start_ns)`.
 pub type ExitFn = fn(u8, u8, u64);
 
+/// Called with a batch of cache span *counts* from a fused bulk loop
+/// (page zeroing, region copies) whose per-access RAII spans were collapsed
+/// into one exact add. Span counts are order-independent sums, so batching
+/// them is exact; only the stride-sampled timing loses sample candidates.
+pub type BulkFn = fn(u64);
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static HOOKS: OnceLock<(EnterFn, ExitFn)> = OnceLock::new();
+static BULK: OnceLock<BulkFn> = OnceLock::new();
+
+/// Installs the bulk span-count hook (see [`BulkFn`]).
+pub fn install_bulk(f: BulkFn) {
+    let _ = BULK.set(f);
+}
+
+/// Reports `spans` cache-phase span counts in one batch. A no-op unless a
+/// profiler is installed and armed — same dormant cost as [`span`].
+#[inline]
+pub fn bulk_cache(spans: u64) {
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    if let Some(f) = BULK.get() {
+        f(spans);
+    }
+}
 
 /// Installs the profiler hooks and enables the guards.
 pub fn install(enter: EnterFn, exit: ExitFn) {

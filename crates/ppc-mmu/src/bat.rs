@@ -121,7 +121,7 @@ impl BatSet {
 
     /// Attempts a data-side BAT translation.
     pub fn translate_data(&mut self, ea: EffectiveAddress) -> Option<(PhysAddr, bool)> {
-        let hit = self.dbat.iter().flatten().find_map(|b| b.translate(ea));
+        let hit = self.peek_data(ea);
         if hit.is_some() {
             self.dbat_hits += 1;
         }
@@ -130,11 +130,25 @@ impl BatSet {
 
     /// Attempts an instruction-side BAT translation.
     pub fn translate_insn(&mut self, ea: EffectiveAddress) -> Option<(PhysAddr, bool)> {
-        let hit = self.ibat.iter().flatten().find_map(|b| b.translate(ea));
+        let hit = self.peek_insn(ea);
         if hit.is_some() {
             self.ibat_hits += 1;
         }
         hit
+    }
+
+    /// Stat-neutral data-side probe for the fused fast path: same match as
+    /// [`BatSet::translate_data`] but does not count the hit. A caller that
+    /// commits to the translation must bump `dbat_hits` itself.
+    #[inline]
+    pub fn peek_data(&self, ea: EffectiveAddress) -> Option<(PhysAddr, bool)> {
+        self.dbat.iter().flatten().find_map(|b| b.translate(ea))
+    }
+
+    /// Stat-neutral instruction-side probe; see [`BatSet::peek_data`].
+    #[inline]
+    pub fn peek_insn(&self, ea: EffectiveAddress) -> Option<(PhysAddr, bool)> {
+        self.ibat.iter().flatten().find_map(|b| b.translate(ea))
     }
 
     /// Number of valid data BATs.

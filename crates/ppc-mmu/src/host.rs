@@ -34,15 +34,41 @@ pub const PHASE_CHARGE: u8 = 2;
 pub type EnterFn = fn(u8) -> (u8, u64);
 /// Called on span exit with `(previous_phase, phase, start_ns)`.
 pub type ExitFn = fn(u8, u8, u64);
+/// Called by the fused fast path with batched span counts
+/// `(translate, cache, charge)`. Span *counts* are order-independent sums,
+/// so adding them in bulk is exact; only the stride-sampled timing estimate
+/// (already a masked, non-deterministic artifact section) loses candidate
+/// sample points.
+pub type BulkFn = fn(u64, u64, u64);
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static HOOKS: OnceLock<(EnterFn, ExitFn)> = OnceLock::new();
+static BULK: OnceLock<BulkFn> = OnceLock::new();
 
 /// Installs the profiler hooks and enables the guards. The pair can only be
 /// installed once per process (`OnceLock`); re-arming just re-enables it.
 pub fn install(enter: EnterFn, exit: ExitFn) {
     let _ = HOOKS.set((enter, exit));
     ENABLED.store(true, Relaxed);
+}
+
+/// Installs the bulk span-count hook used by the fused fast path. Gated by
+/// the same `ENABLED` flag as the RAII spans.
+pub fn install_bulk(f: BulkFn) {
+    let _ = BULK.set(f);
+}
+
+/// Reports batched span counts from the fused fast path: `translate`
+/// translate spans, `cache` cache spans, `charge` charge spans. One relaxed
+/// load when dormant.
+#[inline]
+pub fn bulk(translate: u64, cache: u64, charge: u64) {
+    if !ENABLED.load(Relaxed) {
+        return;
+    }
+    if let Some(f) = BULK.get() {
+        f(translate, cache, charge);
+    }
 }
 
 /// Disables the guards (the installed pair stays, dormant).

@@ -434,10 +434,21 @@ impl HashTable {
     /// histogram" used to spot hot-spots while tuning the VSID scatter
     /// constant.
     pub fn group_histogram(&self) -> Vec<u8> {
-        self.groups
-            .iter()
-            .map(|g| g.iter().filter(|p| p.valid).count() as u8)
-            .collect()
+        let mut out = Vec::new();
+        self.group_histogram_into(&mut out);
+        out
+    }
+
+    /// [`HashTable::group_histogram`] into a caller-owned buffer, reusing
+    /// its capacity. The consistency checker's heavy sweep runs this every
+    /// epoch; with a reused scratch it allocates only when the table grows.
+    pub fn group_histogram_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(
+            self.groups
+                .iter()
+                .map(|g| g.iter().filter(|p| p.valid).count() as u8),
+        );
     }
 
     /// Every valid entry with its `(group, slot)` location, in table order.

@@ -128,7 +128,11 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    sets: Vec<Vec<Slot>>,
+    /// Every slot in one contiguous allocation, indexed `set * ways + way` —
+    /// the whole congruence class sits on one host cache line for the hot
+    /// probe.
+    slots: Box<[Slot]>,
+    ways: usize,
     stats: TlbStats,
     tick: u64,
 }
@@ -141,18 +145,13 @@ impl Tlb {
     /// Panics if the geometry is invalid.
     pub fn new(cfg: TlbConfig) -> Self {
         cfg.validate();
+        let ways = cfg.ways as usize;
+        let slots =
+            vec![Slot { entry: None, lru: 0 }; ways * cfg.sets() as usize].into_boxed_slice();
         Self {
             cfg,
-            sets: vec![
-                vec![
-                    Slot {
-                        entry: None,
-                        lru: 0
-                    };
-                    cfg.ways as usize
-                ];
-                cfg.sets() as usize
-            ],
+            slots,
+            ways,
             stats: TlbStats::default(),
             tick: 0,
         }
@@ -179,44 +178,68 @@ impl Tlb {
 
     /// Looks up a translation. Counts a hit or miss.
     pub fn lookup(&mut self, vsid: Vsid, page_index: u32) -> Option<TlbEntry> {
-        self.tick += 1;
-        self.stats.lookups += 1;
-        let set = self.set_of(page_index);
-        for slot in &mut self.sets[set] {
-            if let Some(e) = slot.entry {
-                if e.vsid == vsid && e.page_index == page_index {
-                    slot.lru = self.tick;
-                    self.stats.hits += 1;
-                    return Some(e);
-                }
+        match self.peek(vsid, page_index) {
+            Some((idx, e)) => {
+                self.commit_hit(idx);
+                Some(e)
+            }
+            None => {
+                self.tick += 1;
+                self.stats.lookups += 1;
+                self.stats.misses += 1;
+                None
             }
         }
-        self.stats.misses += 1;
-        None
+    }
+
+    /// Stat-neutral probe for the fused fast path: finds the matching slot
+    /// (as a flat index into `self.slots`) *without* touching the tick, the
+    /// LRU stamp, or any counter. A hit the caller decides to take must be
+    /// followed by [`Tlb::commit_hit`]; a `None` (or an abandoned peek) leaves
+    /// the TLB exactly as it was, so a layered re-lookup counts once.
+    #[inline]
+    pub fn peek(&self, vsid: Vsid, page_index: u32) -> Option<(usize, TlbEntry)> {
+        let base = self.set_of(page_index) * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .find_map(|(w, slot)| {
+                slot.entry
+                    .filter(|e| e.vsid == vsid && e.page_index == page_index)
+                    .map(|e| (base + w, e))
+            })
+    }
+
+    /// Commits the hit found by [`Tlb::peek`]: exactly the bookkeeping
+    /// [`Tlb::lookup`] performs on a hit (tick, lookup + hit counters, LRU).
+    #[inline]
+    pub fn commit_hit(&mut self, idx: usize) {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        self.stats.hits += 1;
+        self.slots[idx].lru = self.tick;
     }
 
     /// Inserts (reloads) a translation, evicting the LRU way of its set.
     pub fn insert(&mut self, entry: TlbEntry) {
         self.tick += 1;
         self.stats.reloads += 1;
-        let set = self.set_of(entry.page_index);
+        let base = self.set_of(entry.page_index) * self.ways;
         let tick = self.tick;
         // Reuse an invalid way, else the LRU way.
-        let way = {
-            let slots = &self.sets[set];
-            slots
-                .iter()
-                .position(|s| s.entry.is_none())
-                .unwrap_or_else(|| {
-                    slots
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, s)| s.lru)
-                        .map(|(i, _)| i)
-                        .expect("TLB set cannot be empty")
-                })
-        };
-        self.sets[set][way] = Slot {
+        let set_slots = &self.slots[base..base + self.ways];
+        let way = set_slots
+            .iter()
+            .position(|s| s.entry.is_none())
+            .unwrap_or_else(|| {
+                set_slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.lru)
+                    .map(|(i, _)| i)
+                    .expect("TLB set cannot be empty")
+            });
+        self.slots[base + way] = Slot {
             entry: Some(entry),
             lru: tick,
         };
@@ -227,9 +250,9 @@ impl Tlb {
     /// were dropped (including innocent bystanders).
     pub fn tlbie(&mut self, page_index: u32) -> u32 {
         self.stats.tlbie += 1;
-        let set = self.set_of(page_index);
+        let base = self.set_of(page_index) * self.ways;
         let mut dropped = 0;
-        for slot in &mut self.sets[set] {
+        for slot in &mut self.slots[base..base + self.ways] {
             if slot.entry.take().is_some() {
                 dropped += 1;
             }
@@ -240,29 +263,22 @@ impl Tlb {
     /// Invalidates every entry.
     pub fn flush_all(&mut self) {
         self.stats.flush_all += 1;
-        for set in &mut self.sets {
-            for slot in set {
-                slot.entry = None;
-            }
+        for slot in &mut self.slots {
+            slot.entry = None;
         }
     }
 
     /// Number of valid entries.
     pub fn valid_entries(&self) -> u32 {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|s| s.entry.is_some())
-            .count() as u32
+        self.slots.iter().filter(|s| s.entry.is_some()).count() as u32
     }
 
     /// Number of valid entries whose VSID satisfies `pred` — used to measure
     /// the kernel's TLB footprint (§5.1: "33% of the TLB entries under
     /// Linux/PPC were for kernel text, data and I/O pages").
     pub fn entries_matching(&self, mut pred: impl FnMut(Vsid) -> bool) -> u32 {
-        self.sets
+        self.slots
             .iter()
-            .flatten()
             .filter(|s| s.entry.is_some_and(|e| pred(e.vsid)))
             .count() as u32
     }
@@ -271,7 +287,7 @@ impl Tlb {
     /// state or statistics, so a sweep over the entries is invisible to the
     /// replacement policy (the consistency checker depends on this).
     pub fn entries(&self) -> impl Iterator<Item = TlbEntry> + '_ {
-        self.sets.iter().flatten().filter_map(|s| s.entry)
+        self.slots.iter().filter_map(|s| s.entry)
     }
 }
 

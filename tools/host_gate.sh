@@ -11,10 +11,13 @@
 # 3. Allocation gate (HARD): allocs per 1k simulated cycles, per basket
 #    workload, may not regress more than 5% against the committed
 #    HOST_BENCH.json baseline. Hot-loop allocation creep fails CI.
-# 4. Throughput (SOFT): the sim-cycles-per-host-second headline is printed
-#    on every run so the log carries a speed history; a drop below 70% of
-#    the committed baseline prints a warning but never fails, because CI
-#    machines are shared and wall-clock is not reproducible.
+# 4. Throughput (HARD): the sim-cycles-per-host-second headline is printed
+#    on every run so the log carries a speed history; a drop below 85% of
+#    the committed baseline fails the gate. Wall-clock on shared CI
+#    machines is noisy, but since the fast-path fusion work the committed
+#    headline is far enough above the old layered-path speed that an 85%
+#    floor only trips on a real regression (losing the fused path would
+#    land near 50%), not on scheduler jitter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,9 +51,13 @@ for exp in table1 table2 pressure; do
 done
 
 # --- 2. cross-process masked determinism -------------------------------------
-cargo run -q --release -p bench --bin repro -- hostbench --iters 1 \
+# Three timing passes, matching the committed baseline's shape: the median
+# of three discards the colder first pass, so gate 4 compares like for
+# like (the deterministic sections gates 2 and 3 use are pass-count
+# independent; the extra passes cost a couple of seconds).
+cargo run -q --release -p bench --bin repro -- hostbench --iters 3 \
     --json "$out/hb-a.json" > "$out/run-a.txt"
-cargo run -q --release -p bench --bin repro -- hostbench --iters 1 \
+cargo run -q --release -p bench --bin repro -- hostbench --iters 3 \
     --json "$out/hb-b.json" > /dev/null
 sed '/"timing":/,$d' "$out/hb-a.json" > "$out/hb-a.det"
 sed '/"timing":/,$d' "$out/hb-b.json" > "$out/hb-b.det"
@@ -86,20 +93,23 @@ for w in compile fault_storm matrix_row chaos_fleet; do
     fi
 done
 
-# --- 4. SOFT throughput headline ---------------------------------------------
+# --- 4. HARD throughput headline ---------------------------------------------
 cps_of() { # first sim_cycles_per_host_sec in the file = the headline
     sed -n 's/.*"sim_cycles_per_host_sec": \([0-9]*\).*/\1/p' "$1" | head -1
 }
 base_cps=$(cps_of "$baseline")
 new_cps=$(cps_of "$out/hb-a.json")
 echo "host_gate headline: $new_cps sim-cycles/host-sec (baseline $base_cps)"
-if [ -n "$base_cps" ] && [ -n "$new_cps" ] \
-        && [ $((new_cps * 10)) -lt $((base_cps * 7)) ]; then
-    echo "WARN: throughput below 70% of baseline ($new_cps vs $base_cps);" \
-         "not failing — wall-clock is machine-dependent" >&2
+if [ -z "$base_cps" ] || [ -z "$new_cps" ]; then
+    echo "FAIL: could not extract the sim_cycles_per_host_sec headline" >&2
+    fail=1
+elif [ $((new_cps * 100)) -lt $((base_cps * 85)) ]; then
+    echo "FAIL: throughput below 85% of the committed baseline" \
+         "($new_cps vs $base_cps sim-cycles/host-sec)" >&2
+    fail=1
 fi
 
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "host gate OK: usage complete, artifact deterministic, allocation budget held"
+echo "host gate OK: usage complete, artifact deterministic, allocation and throughput budgets held"
